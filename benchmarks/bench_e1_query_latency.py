@@ -1,0 +1,122 @@
+"""E1 — end-to-end query latency: optimized engine vs naive federation.
+
+Operationalises the abstract's headline complaint ("there are a number
+of lags concerning querying the tree"). The same mixed query workload
+runs against the optimized engine (integrated overlay + all
+optimizations) and the naive engine (per-query federated fetches, full
+traversals), across growing tree sizes.
+
+Expected shape: the optimized engine wins by well over an order of
+magnitude in *experienced* latency (wall + simulated remote time), and
+the gap grows with tree size because naive cost tracks the whole tree
+while optimized cost tracks the answer.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import NaiveEngine, QueryEngine
+from repro.workloads import (
+    DatasetConfig,
+    QueryGenerator,
+    TextTable,
+    WorkloadConfig,
+    build_dataset,
+    mean,
+    speedup,
+)
+
+TREE_SIZES = (50, 100, 200)
+WORKLOAD_QUERIES = 12
+
+
+def _run_workload(engine, queries, is_naive: bool) -> dict[str, float]:
+    wall_times = []
+    virtual = 0.0
+    for query in queries:
+        started = time.perf_counter()
+        result = engine.execute(query)
+        wall_times.append(time.perf_counter() - started)
+        if is_naive:
+            virtual += result.virtual_latency_s
+    return {
+        "mean_wall_s": mean(wall_times),
+        "total_virtual_s": virtual,
+    }
+
+
+def _world(n_leaves: int):
+    return build_dataset(DatasetConfig(
+        n_leaves=n_leaves,
+        n_ligands=max(80, n_leaves),
+        seed=400 + n_leaves,
+    ))
+
+
+def test_e1_latency_sweep(benchmark, report):
+    table = TextTable(
+        ["leaves", "engine", "mean wall ms/query",
+         "remote latency s (workload)", "experienced speedup"],
+        title="E1  query latency: optimized vs naive, by tree size",
+    )
+
+    def sweep():
+        rows = []
+        for n_leaves in TREE_SIZES:
+            dataset = _world(n_leaves)
+            drugtree = dataset.drugtree()
+            generator = QueryGenerator(dataset.family, dataset.ligands,
+                                       seed=1)
+            queries = generator.workload(
+                WorkloadConfig(n_queries=WORKLOAD_QUERIES, seed=2)
+            )
+            optimized = QueryEngine(drugtree)
+            naive = NaiveEngine(dataset.tree, dataset.registry)
+            fast = _run_workload(optimized, queries, is_naive=False)
+            slow = _run_workload(naive, queries, is_naive=True)
+            # Experienced latency = wall + simulated remote wait.
+            fast_total = fast["mean_wall_s"] * WORKLOAD_QUERIES
+            slow_total = (slow["mean_wall_s"] * WORKLOAD_QUERIES
+                          + slow["total_virtual_s"])
+            rows.append((n_leaves, "optimized",
+                         fast["mean_wall_s"] * 1000, 0.0, ""))
+            rows.append((n_leaves, "naive",
+                         slow["mean_wall_s"] * 1000,
+                         slow["total_virtual_s"],
+                         speedup(slow_total, fast_total)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+    # Shape assertions: optimized must win at every size.
+    by_size = {}
+    for n_leaves, engine, wall_ms, virtual_s, _ in rows:
+        by_size.setdefault(n_leaves, {})[engine] = (wall_ms, virtual_s)
+    for n_leaves, engines in by_size.items():
+        fast_ms, _ = engines["optimized"]
+        slow_ms, slow_virtual = engines["naive"]
+        assert slow_ms + slow_virtual * 1000 > 5 * fast_ms
+
+
+@pytest.mark.parametrize("engine_kind", ["optimized", "naive"])
+def test_e1_single_query_wall_time(benchmark, world_small, engine_kind):
+    """pytest-benchmark wall numbers for one representative query."""
+    dataset = world_small
+    drugtree = dataset.drugtree()
+    clade = dataset.family.clade_names[1]
+    text = (
+        "SELECT * FROM bindings WHERE p_affinity >= 7.0 "
+        f"IN SUBTREE '{clade}'"
+    )
+    if engine_kind == "optimized":
+        from repro.core import EngineConfig
+        engine = QueryEngine(drugtree,
+                             EngineConfig(use_semantic_cache=False))
+    else:
+        engine = NaiveEngine(dataset.tree, dataset.registry)
+    benchmark(lambda: engine.execute(text))

@@ -1,0 +1,80 @@
+"""E3 — multi-source integration cost: batched vs per-item fetching.
+
+Operationalises "data is being obtained from multiple sources,
+integrated and then presented". The integration pipeline runs in both
+fetch modes while the per-round-trip latency of the remote sources is
+swept from LAN-ish to transatlantic.
+
+Expected shape: batching wins by roughly (records per batch) x on
+round-trips; the latency advantage grows linearly with source RTT
+because the naive pattern pays RTT per key.
+"""
+
+from __future__ import annotations
+
+from repro.core import IntegrationPipeline
+from repro.workloads import DatasetConfig, TextTable, build_dataset, speedup
+
+SOURCE_RTTS = (0.020, 0.100, 0.500)
+N_LEAVES = 80
+
+
+def _fresh_world(rtt_s: float):
+    return build_dataset(DatasetConfig(
+        n_leaves=N_LEAVES, n_ligands=120, seed=777,
+        source_latency_s=rtt_s,
+    ))
+
+
+def test_e3_integration_modes(benchmark, report):
+    table = TextTable(
+        ["source RTT ms", "mode", "round-trips",
+         "simulated latency s", "latency speedup"],
+        title=f"E3  integrating a {N_LEAVES}-leaf family from 3 sources",
+    )
+
+    def sweep():
+        rows = []
+        for rtt in SOURCE_RTTS:
+            measurements = {}
+            for mode in ("per_item", "batched"):
+                dataset = _fresh_world(rtt)
+                pipeline = IntegrationPipeline(dataset.registry,
+                                               mode=mode)
+                _, result = pipeline.build_drugtree(dataset.tree)
+                measurements[mode] = result
+            slow = measurements["per_item"]
+            fast = measurements["batched"]
+            rows.append((rtt * 1000, "per_item", slow.roundtrips,
+                         slow.virtual_latency_s, ""))
+            rows.append((rtt * 1000, "batched", fast.roundtrips,
+                         fast.virtual_latency_s,
+                         speedup(slow.virtual_latency_s,
+                                 fast.virtual_latency_s)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    # Shape: batched round-trips are independent of RTT and far fewer;
+    # the latency gap widens with RTT.
+    batched = [row for row in rows if row[1] == "batched"]
+    per_item = [row for row in rows if row[1] == "per_item"]
+    for fast, slow in zip(batched, per_item):
+        assert fast[2] * 10 < slow[2]
+        assert fast[3] < slow[3]
+    gaps = [slow[3] - fast[3] for fast, slow in zip(batched, per_item)]
+    assert gaps == sorted(gaps)
+
+
+def test_e3_batched_integration_wall_time(benchmark):
+    """pytest-benchmark wall numbers for one batched integration."""
+    dataset = _fresh_world(0.05)
+
+    def integrate():
+        pipeline = IntegrationPipeline(dataset.registry, mode="batched")
+        return pipeline.build_drugtree(dataset.tree)
+
+    benchmark.pedantic(integrate, rounds=3, iterations=1)

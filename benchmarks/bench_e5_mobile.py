@@ -1,0 +1,101 @@
+"""E5 — mobile interaction responsiveness across networks.
+
+The paper's title promises "mobile interaction"; this experiment
+replays the same gesture session against the DrugTree server over each
+2013-era network profile, with the mobile protocol optimizations on
+(LOD + delta) and off (full tree per gesture).
+
+Expected shape: without the optimizations, latency is dominated by
+shipping the whole tree and degrades sharply on slow networks; with
+them, latency tracks the viewport and stays interactive (sub-second
+mean) even on EDGE.
+"""
+
+from __future__ import annotations
+
+from repro.mobile import (
+    DrugTreeServer,
+    MobileClient,
+    NetworkLink,
+    ServerConfig,
+    get_profile,
+    plan_session,
+    replay_session,
+)
+from repro.workloads import TextTable, mean, percentile
+
+PROFILES = ("edge", "3g", "hspa", "wifi")
+GESTURES = 15
+
+
+def _run(dataset, drugtree, profile_name: str, config: ServerConfig):
+    server = DrugTreeServer(drugtree, config)
+    link = NetworkLink(get_profile(profile_name), dataset.clock, seed=7)
+    client = MobileClient(server, link)
+    session = plan_session(GESTURES, seed=23)
+    replay_session(client, session, dataset.family.clade_names)
+    latencies = client.latencies()
+    return {
+        "mean_s": mean(latencies),
+        "p95_s": percentile(latencies, 0.95),
+        "kb": client.total_bytes_down / 1024.0,
+    }
+
+
+def test_e5_interaction_latency(benchmark, world_medium, report):
+    dataset = world_medium
+    drugtree = dataset.drugtree()
+    optimized = ServerConfig(use_lod=True, use_delta=True)
+    baseline = ServerConfig(use_lod=False, use_delta=False)
+
+    def sweep():
+        rows = []
+        for profile_name in PROFILES:
+            fast = _run(dataset, drugtree, profile_name, optimized)
+            slow = _run(dataset, drugtree, profile_name, baseline)
+            rows.append((profile_name, "LOD+delta", fast["mean_s"],
+                         fast["p95_s"], fast["kb"]))
+            rows.append((profile_name, "full tree", slow["mean_s"],
+                         slow["p95_s"], slow["kb"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["network", "protocol", "mean latency s", "p95 latency s",
+         "KB downloaded"],
+        title=f"E5  {GESTURES}-gesture session on a "
+              f"{world_medium.config.n_leaves}-leaf tree",
+    )
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    for profile_name in PROFILES:
+        fast = by_key[(profile_name, "LOD+delta")]
+        slow = by_key[(profile_name, "full tree")]
+        assert fast[2] < slow[2]          # faster on every network
+        assert fast[4] * 5 < slow[4]      # far fewer bytes
+    # Optimized stays interactive even on EDGE.
+    assert by_key[("edge", "LOD+delta")][2] < 1.0
+    # Full-tree latency worsens as the network slows; LOD is much flatter.
+    slow_means = [by_key[(p, "full tree")][2] for p in PROFILES]
+    assert slow_means == sorted(slow_means, reverse=True)
+
+
+def test_e5_gesture_wall_time(benchmark, world_medium):
+    """pytest-benchmark numbers for one optimized expand gesture."""
+    dataset = world_medium
+    drugtree = dataset.drugtree()
+    server = DrugTreeServer(drugtree)
+    link = NetworkLink(get_profile("3g"), dataset.clock, seed=1)
+    client = MobileClient(server, link)
+    clades = dataset.family.clade_names
+
+    counter = [0]
+
+    def expand():
+        counter[0] += 1
+        return client.pan_to(clades[counter[0] % len(clades)])
+
+    benchmark(expand)

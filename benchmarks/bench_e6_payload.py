@@ -1,0 +1,83 @@
+"""E6 — mobile payload sizes: full tree vs viewport LOD vs delta.
+
+Measures the actual compressed wire bytes of (a) the whole annotated
+tree, (b) LOD viewports at increasing depth, and (c) deltas for a small
+viewport move.
+
+Expected shape: viewport+LOD payloads are >=10x smaller than the full
+tree; deltas for small moves are a further large factor smaller than
+re-sending the viewport.
+"""
+
+from __future__ import annotations
+
+from repro.mobile.lod import render_full, render_viewport
+from repro.mobile.protocol import delta_message, full_message
+from repro.workloads import TextTable
+
+LOD_DEPTHS = (1, 2, 3, 4)
+
+
+def test_e6_payload_sizes(benchmark, world_medium, report):
+    dataset = world_medium
+    drugtree = dataset.drugtree()
+    focus = dataset.family.clade_names[0]
+
+    def sweep():
+        rows = []
+        full_bytes = full_message(render_full(drugtree)).wire_bytes
+        rows.append(("full tree + bindings", "-", full_bytes, 1.0))
+        for depth in LOD_DEPTHS:
+            payload = render_viewport(drugtree, focus, max_depth=depth)
+            size = full_message(payload).wire_bytes
+            rows.append((f"LOD viewport depth {depth}",
+                         str(len(payload["nodes"])), size,
+                         full_bytes / size))
+        # Delta: the progressive-expand gesture — same focus, one level
+        # deeper — where most of the new payload is already on screen.
+        base = render_viewport(drugtree, focus, max_depth=3)
+        deeper = render_viewport(drugtree, focus, max_depth=4)
+        full_move = full_message(deeper).wire_bytes
+        delta_move = delta_message(base, deeper).wire_bytes
+        rows.append(("expand one level, re-sent",
+                     str(len(deeper["nodes"])),
+                     full_move, full_bytes / full_move))
+        rows.append(("expand one level, delta",
+                     str(len(deeper["nodes"])),
+                     delta_move, full_bytes / delta_move))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["payload", "nodes", "wire bytes", "vs full tree"],
+        title=f"E6  payload bytes on a {world_medium.config.n_leaves}-"
+              "leaf tree (zlib-compressed JSON)",
+    )
+    for label, nodes, size, factor in rows:
+        table.add_row(label, nodes, size, f"{factor:.0f}x")
+    report(table)
+
+    full_bytes = rows[0][2]
+    depth3 = next(row for row in rows if "depth 3" in row[0])
+    assert depth3[2] * 10 < full_bytes
+    sizes = [row[2] for row in rows if row[0].startswith("LOD")]
+    assert sizes == sorted(sizes)  # deeper viewport = bigger payload
+    resent = next(row for row in rows if "re-sent" in row[0])
+    delta = next(row for row in rows if ", delta" in row[0])
+    assert delta[2] < resent[2]
+
+
+def test_e6_render_viewport_wall_time(benchmark, world_medium):
+    drugtree = world_medium.drugtree()
+    focus = world_medium.family.clade_names[0]
+    benchmark(lambda: full_message(
+        render_viewport(drugtree, focus, max_depth=3)
+    ))
+
+
+def test_e6_render_full_wall_time(benchmark, world_medium):
+    drugtree = world_medium.drugtree()
+    benchmark.pedantic(
+        lambda: full_message(render_full(drugtree)),
+        rounds=5, iterations=1,
+    )

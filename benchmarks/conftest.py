@@ -1,0 +1,49 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Datasets are session-scoped: building a 200-leaf world once and sharing
+it across experiments keeps the whole benchmark run in minutes. Every
+experiment prints its paper-style results table through
+``report_table`` so that ``pytest benchmarks/ --benchmark-only`` output
+contains the rows EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.workloads import DatasetConfig, build_dataset  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def world_small():
+    """60-leaf world: the interactive-scale dataset."""
+    return build_dataset(DatasetConfig(n_leaves=60, n_ligands=120,
+                                       seed=101))
+
+
+@pytest.fixture(scope="session")
+def world_medium():
+    """150-leaf world: the scale where naive lag becomes painful."""
+    return build_dataset(DatasetConfig(n_leaves=150, n_ligands=200,
+                                       seed=202))
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Print an experiment table so it survives output capture."""
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+
+    def emit(table) -> None:
+        text = table.render() if hasattr(table, "render") else str(table)
+        if capmanager is not None:
+            with capmanager.global_and_fixture_disabled():
+                print(f"\n{text}\n")
+        else:
+            print(f"\n{text}\n")
+
+    return emit

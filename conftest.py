@@ -1,0 +1,7 @@
+"""Ensure the in-repo package is importable even without installation."""
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,142 @@
+"""Drug-discovery screen: the workload the paper's intro motivates.
+
+A medicinal chemist has one promising compound and asks the questions
+DrugTree was built for:
+
+1. *Phylogenetic selectivity* — which clades of the protein family does
+   my compound hit, and which does it spare? (Off-target risk lives in
+   the clades you didn't assay.)
+2. *Analog hunting* — which library compounds are structurally similar
+   to my hit, and how do their potencies compare?
+3. *Clade-focused triage* — inside the most druggable clade, which
+   proteins have potent, drug-like chemical matter?
+4. *Scaffold hopping* — which potent binders share the hit's core
+   scaffold (substructure search), and which clades do the group-level
+   statistics say are worth assaying next (GROUP BY ... HAVING)?
+
+Run with::
+
+    python examples/drug_discovery_screen.py
+"""
+
+from repro import DatasetConfig, QueryEngine, build_dataset
+from repro.workloads import TextTable
+
+
+def pick_hit(dataset):
+    """The most-assayed ligand makes a realistic 'hit' to start from."""
+    counts: dict[str, int] = {}
+    for record in dataset.bindings:
+        counts[record.ligand_id] = counts.get(record.ligand_id, 0) + 1
+    hit_id = max(counts, key=counts.get)
+    return next(ligand for ligand in dataset.ligands
+                if ligand.ligand_id == hit_id)
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetConfig(n_leaves=60, n_ligands=150,
+                                          seed=7))
+    drugtree = dataset.drugtree()
+    engine = QueryEngine(drugtree)
+    hit = pick_hit(dataset)
+    print(f"hit compound: {hit.ligand_id}  {hit.smiles}")
+    print(f"  MW {hit.descriptors.molecular_weight:.1f}, "
+          f"logP {hit.descriptors.logp:.2f}, "
+          f"drug-like: {hit.descriptors.is_drug_like}")
+
+    # -- 1. Phylogenetic selectivity profile --------------------------------
+    table = TextTable(
+        ["clade", "leaves", "hit bindings", "mean pAff", "max pAff"],
+        title="\nselectivity profile of the hit across top-level clades",
+    )
+    top_clades = [child.name for child in drugtree.tree.root.children
+                  if child.name and not child.is_leaf]
+    for clade in top_clades:
+        result = engine.execute(
+            "SELECT count(*), mean(p_affinity), max(p_affinity) "
+            f"FROM bindings WHERE ligand_id = '{hit.ligand_id}' "
+            f"IN SUBTREE '{clade}'"
+        )
+        row = result.rows[0]
+        leaves = drugtree.labeling.label_of(clade).leaf_count
+        table.add_row(
+            clade, leaves, row["count_all"],
+            row["mean_p_affinity"] or 0.0,
+            row["max_p_affinity"] or 0.0,
+        )
+    print(table.render())
+
+    # -- 2. Analog hunting by structural similarity --------------------------
+    analogs = engine.execute(
+        "SELECT ligand_id, smiles, molecular_weight, logp "
+        f"SIMILAR TO '{hit.smiles}' >= 0.55"
+    )
+    print(f"\n{len(analogs.rows)} library analogs at Tanimoto >= 0.55 "
+          f"(prefilter examined {analogs.similarity_candidates} of "
+          f"{drugtree.ligand_count} fingerprints)")
+    analog_table = TextTable(["ligand", "SMILES", "best pAff anywhere"])
+    for row in analogs.rows[:8]:
+        best = engine.execute(
+            "SELECT max(p_affinity) FROM bindings "
+            f"WHERE ligand_id = '{row['ligand_id']}'"
+        ).scalar()
+        analog_table.add_row(row["ligand_id"], row["smiles"][:34],
+                             best or 0.0)
+    print(analog_table.render())
+
+    # -- 3. Triage inside the most druggable clade ----------------------------
+    druggable = max(
+        top_clades,
+        key=lambda clade: drugtree.clade_stats(clade)["potent_fraction"],
+    )
+    print(f"\nmost druggable clade: {druggable} "
+          f"(potent fraction "
+          f"{drugtree.clade_stats(druggable)['potent_fraction']:.2f})")
+    triage = engine.execute(
+        "SELECT protein_id, organism, ligand_id, p_affinity "
+        "WHERE potent = true AND drug_like = true "
+        f"IN SUBTREE '{druggable}' "
+        "ORDER BY p_affinity DESC LIMIT 10"
+    )
+    triage_table = TextTable(
+        ["protein", "organism", "ligand", "pAff"],
+        title=f"potent drug-like matter inside {druggable}",
+    )
+    for row in triage.rows:
+        triage_table.add_row(row["protein_id"], row["organism"],
+                             row["ligand_id"], row["p_affinity"])
+    print(triage_table.render())
+
+    # -- 4. Scaffold hopping + organism-level triage --------------------------
+    scaffold = "c1ccccc1"  # the aromatic core most series share
+    scaffold_hits = engine.execute(
+        "SELECT ligand_id, p_affinity FROM bindings, ligands "
+        "WHERE potent = true "
+        f"CONTAINING '{scaffold}' "
+        "ORDER BY p_affinity DESC LIMIT 5"
+    )
+    print(f"\npotent binders containing the {scaffold} scaffold "
+          f"(screen examined {scaffold_hits.substructure_candidates} "
+          "molecules):")
+    for row in scaffold_hits.rows:
+        print(f"  {row['ligand_id']} (pAff {row['p_affinity']:.2f})")
+
+    panel = engine.execute(
+        "SELECT organism, count(*), mean(p_affinity) "
+        "FROM bindings, proteins GROUP BY organism "
+        "HAVING count_all >= 10 AND mean_p_affinity >= 6.5 "
+        "ORDER BY mean_p_affinity DESC LIMIT 6"
+    )
+    panel_table = TextTable(
+        ["organism", "assays", "mean pAff"],
+        title="\norganisms worth assaying next "
+              "(>=10 measurements, mean pAff >= 6.5)",
+    )
+    for row in panel.rows:
+        panel_table.add_row(row["organism"], row["count_all"],
+                            row["mean_p_affinity"])
+    print(panel_table.render())
+
+
+if __name__ == "__main__":
+    main()

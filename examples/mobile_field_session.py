@@ -1,0 +1,71 @@
+"""Mobile field session: the same navigation on five networks.
+
+Replays an identical gesture session (drill-downs, pans, clade queries)
+against the DrugTree server over each 2013-era network profile, with
+the mobile optimizations on and off — showing why level-of-detail
+rendering plus delta encoding is what makes the tree usable on a phone.
+
+Run with::
+
+    python examples/mobile_field_session.py
+"""
+
+from repro import DatasetConfig, build_dataset
+from repro.mobile import (
+    DrugTreeServer,
+    MobileClient,
+    NetworkLink,
+    ServerConfig,
+    get_profile,
+    plan_session,
+    replay_session,
+)
+from repro.workloads import TextTable, mean, percentile
+
+
+def run_session(dataset, drugtree, profile_name, config):
+    server = DrugTreeServer(drugtree, config)
+    link = NetworkLink(get_profile(profile_name), dataset.clock, seed=3)
+    client = MobileClient(server, link)
+    session = plan_session(steps=20, seed=11)
+    replay_session(client, session, dataset.family.clade_names)
+    latencies = client.latencies()
+    return {
+        "mean_s": mean(latencies),
+        "p95_s": percentile(latencies, 0.95),
+        "kb_down": client.total_bytes_down / 1024.0,
+    }
+
+
+def main() -> None:
+    dataset = build_dataset(DatasetConfig(n_leaves=120, n_ligands=200,
+                                          seed=19))
+    drugtree = dataset.drugtree()
+    print(f"serving {drugtree} to a simulated phone\n")
+
+    optimized = ServerConfig(use_lod=True, use_delta=True)
+    baseline = ServerConfig(use_lod=False, use_delta=False)
+
+    table = TextTable(
+        ["network", "protocol", "mean latency s", "p95 latency s",
+         "KB downloaded"],
+        title="20-gesture session (open + expands + pans + queries)",
+    )
+    for profile_name in ("edge", "3g", "hspa", "lte", "wifi"):
+        for label, config in (("LOD+delta", optimized),
+                              ("full tree", baseline)):
+            stats = run_session(dataset, drugtree, profile_name, config)
+            table.add_row(profile_name, label, stats["mean_s"],
+                          stats["p95_s"], stats["kb_down"])
+    print(table.render())
+
+    print(
+        "\nreading: with the full-tree protocol the user waits for the "
+        "whole\ntree on every gesture, so latency tracks tree size and "
+        "network speed;\nwith LOD+delta the payload tracks the "
+        "*viewport*, so even EDGE stays\ninteractive."
+    )
+
+
+if __name__ == "__main__":
+    main()

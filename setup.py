@@ -1,0 +1,4 @@
+"""Setup shim enabling legacy editable installs (no wheel available offline)."""
+from setuptools import setup
+
+setup()

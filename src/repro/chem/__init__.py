@@ -1,0 +1,84 @@
+"""Cheminformatics substrate: molecules, descriptors, fingerprints.
+
+Implements the ligand side of DrugTree: a mini SMILES toolkit, the
+descriptors ligand databases expose, similarity fingerprints, binding
+affinity records, and the random library generator used in place of
+proprietary screening collections.
+"""
+
+from repro.chem.affinity import (
+    ActivityType,
+    BindingRecord,
+    aggregate_p_affinity,
+    p_affinity,
+    to_nanomolar,
+)
+from repro.chem.descriptors import (
+    DescriptorSet,
+    compute_descriptors,
+    estimate_logp,
+    hydrogen_bond_acceptors,
+    hydrogen_bond_donors,
+    rotatable_bonds,
+    topological_polar_surface_area,
+)
+from repro.chem.fingerprint import (
+    Fingerprint,
+    bulk_tanimoto,
+    circular_fingerprint,
+    dice,
+    tanimoto,
+)
+from repro.chem.generator import (
+    Ligand,
+    Recipe,
+    build_ligand,
+    generate_library,
+    generate_ligand,
+    mutate_recipe,
+    random_recipe,
+)
+from repro.chem.mol import Atom, Bond, Molecule
+from repro.chem.search import FingerprintIndex
+from repro.chem.smiles import parse_smiles, write_smiles
+from repro.chem.substructure import (
+    SubstructurePattern,
+    filter_library,
+    has_substructure,
+)
+
+__all__ = [
+    "ActivityType",
+    "Atom",
+    "BindingRecord",
+    "Bond",
+    "DescriptorSet",
+    "Fingerprint",
+    "FingerprintIndex",
+    "Ligand",
+    "Molecule",
+    "Recipe",
+    "SubstructurePattern",
+    "aggregate_p_affinity",
+    "build_ligand",
+    "bulk_tanimoto",
+    "circular_fingerprint",
+    "compute_descriptors",
+    "dice",
+    "estimate_logp",
+    "generate_library",
+    "filter_library",
+    "generate_ligand",
+    "has_substructure",
+    "hydrogen_bond_acceptors",
+    "hydrogen_bond_donors",
+    "mutate_recipe",
+    "p_affinity",
+    "parse_smiles",
+    "random_recipe",
+    "rotatable_bonds",
+    "tanimoto",
+    "to_nanomolar",
+    "topological_polar_surface_area",
+    "write_smiles",
+]

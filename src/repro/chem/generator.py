@@ -1,0 +1,192 @@
+"""Random drug-like molecule generation.
+
+Stands in for the real ligand libraries (ChEMBL/BindingDB extracts) the
+paper's system queried — see DESIGN.md. Molecules are assembled from a
+recipe (scaffold + substituents drawn from a curated fragment grammar),
+which makes two things easy: deterministic regeneration from a seed, and
+*analog series* — families of near-identical compounds that give the
+similarity-search benchmark realistic neighbourhood structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.chem.descriptors import DescriptorSet, compute_descriptors
+from repro.chem.fingerprint import (
+    DEFAULT_BITS,
+    DEFAULT_RADIUS,
+    Fingerprint,
+    circular_fingerprint,
+)
+from repro.chem.mol import Molecule
+from repro.chem.smiles import parse_smiles
+from repro.errors import ChemError
+
+#: Ring scaffolds with one or two substitution points.
+SCAFFOLDS: tuple[str, ...] = (
+    "c1ccc({0})cc1",                # monosubstituted benzene
+    "c1ccc({0})c({1})c1",           # ortho-disubstituted benzene
+    "c1cc({0})ccc1{1}",             # para-disubstituted benzene
+    "c1ccnc({0})c1",                # 2-substituted pyridine
+    "c1cnc({0})cn1",                # substituted pyrimidine
+    "c1cc({0})oc1",                 # substituted furan
+    "c1cc({0})sc1",                 # substituted thiophene
+    "c1cc({0})[nH]c1",              # substituted pyrrole
+    "C1CCN({0})CC1",                # N-substituted piperidine
+    "C1CN({0})CCN1{1}",             # disubstituted piperazine
+    "C1CCC({0})CC1",                # substituted cyclohexane
+    "c1ccc2c(c1)cc({0})cc2",        # substituted naphthalene
+)
+
+#: Linkers joining a scaffold to a terminal group (may be empty).
+LINKERS: tuple[str, ...] = (
+    "", "C", "CC", "CCC", "O", "OC", "N", "NC", "C(=O)", "C(=O)N",
+    "C(=O)O", "S(=O)(=O)", "C=C",
+)
+
+#: Terminal groups. Ring terminals use ring-bond number 9 so they can
+#: never collide with a scaffold ring that is still open at the point of
+#: substitution.
+TERMINALS: tuple[str, ...] = (
+    "C", "CC", "C(C)C", "O", "N", "F", "Cl", "Br", "C(F)(F)F",
+    "C#N", "C(=O)O", "C(=O)N", "OC", "N(C)C", "CO", "CN",
+    "c9ccccc9", "c9ccncc9", "C9CCCCC9",
+)
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A reproducible molecule construction plan."""
+
+    scaffold_index: int
+    substituents: tuple[tuple[int, int], ...]  # (linker idx, terminal idx)
+
+    def render(self) -> str:
+        scaffold = SCAFFOLDS[self.scaffold_index]
+        subs = [
+            LINKERS[linker] + TERMINALS[terminal]
+            for linker, terminal in self.substituents
+        ]
+        return scaffold.format(*subs)
+
+
+@dataclass(frozen=True)
+class Ligand:
+    """A generated compound with precomputed search artefacts."""
+
+    ligand_id: str
+    smiles: str
+    molecule: Molecule
+    descriptors: DescriptorSet
+    fingerprint: Fingerprint
+    recipe: Recipe | None = None
+
+    def __repr__(self) -> str:
+        return f"Ligand({self.ligand_id}, {self.smiles})"
+
+
+def _slots_in(scaffold: str) -> int:
+    return scaffold.count("{")
+
+
+def random_recipe(rng: random.Random) -> Recipe:
+    """Draw one random construction recipe."""
+    scaffold_index = rng.randrange(len(SCAFFOLDS))
+    slots = _slots_in(SCAFFOLDS[scaffold_index])
+    substituents = tuple(
+        (rng.randrange(len(LINKERS)), rng.randrange(len(TERMINALS)))
+        for _ in range(slots)
+    )
+    return Recipe(scaffold_index, substituents)
+
+
+def mutate_recipe(recipe: Recipe, rng: random.Random) -> Recipe:
+    """Change one substituent — the 'analog' move of a med-chem series."""
+    if not recipe.substituents:
+        return recipe
+    position = rng.randrange(len(recipe.substituents))
+    substituents = list(recipe.substituents)
+    if rng.random() < 0.5:
+        substituents[position] = (
+            rng.randrange(len(LINKERS)), substituents[position][1]
+        )
+    else:
+        substituents[position] = (
+            substituents[position][0], rng.randrange(len(TERMINALS))
+        )
+    return replace(recipe, substituents=tuple(substituents))
+
+
+def build_ligand(recipe: Recipe, ligand_id: str,
+                 radius: int = DEFAULT_RADIUS,
+                 n_bits: int = DEFAULT_BITS) -> Ligand:
+    """Materialise a recipe into a parsed, profiled ligand."""
+    smiles = recipe.render()
+    molecule = parse_smiles(smiles, name=ligand_id)
+    return Ligand(
+        ligand_id=ligand_id,
+        smiles=smiles,
+        molecule=molecule,
+        descriptors=compute_descriptors(molecule),
+        fingerprint=circular_fingerprint(molecule, radius=radius,
+                                         n_bits=n_bits),
+        recipe=recipe,
+    )
+
+
+def generate_ligand(ligand_id: str, rng: random.Random,
+                    max_attempts: int = 50) -> Ligand:
+    """Generate one random valid ligand (retrying invalid assemblies)."""
+    for _ in range(max_attempts):
+        recipe = random_recipe(rng)
+        try:
+            return build_ligand(recipe, ligand_id)
+        except ChemError:
+            continue
+    raise ChemError("could not assemble a valid molecule")
+
+
+def generate_library(size: int,
+                     seed: int | None = None,
+                     id_prefix: str = "LIG",
+                     analog_fraction: float = 0.3) -> list[Ligand]:
+    """Generate a ligand library with embedded analog series.
+
+    A fraction of compounds are analogs of an earlier library member
+    (one substituent changed), giving the library the clustered
+    similarity structure of a real screening collection.
+    """
+    if size < 1:
+        raise ChemError("library size must be positive")
+    if not 0.0 <= analog_fraction <= 1.0:
+        raise ChemError("analog fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    library: list[Ligand] = []
+    seen_smiles: set[str] = set()
+    attempts = 0
+    while len(library) < size and attempts < size * 100:
+        attempts += 1
+        ligand_id = f"{id_prefix}{len(library):05d}"
+        if library and rng.random() < analog_fraction:
+            parent = rng.choice(library)
+            if parent.recipe is None:
+                continue
+            recipe = mutate_recipe(parent.recipe, rng)
+            try:
+                ligand = build_ligand(recipe, ligand_id)
+            except ChemError:
+                continue
+        else:
+            ligand = generate_ligand(ligand_id, rng)
+        if ligand.smiles in seen_smiles:
+            continue
+        seen_smiles.add(ligand.smiles)
+        library.append(ligand)
+    if len(library) < size:
+        raise ChemError(
+            f"could not generate {size} unique ligands "
+            f"(got {len(library)})"
+        )
+    return library

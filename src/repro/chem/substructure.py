@@ -1,0 +1,131 @@
+"""Substructure matching: "which molecules contain this fragment?"
+
+The classic chemical-database query, implemented the classic way:
+
+1. a cheap **count screen** discards molecules that cannot possibly
+   contain the fragment (fewer atoms of some element, fewer rings,
+   fewer bonds than the fragment requires);
+2. survivors are checked exactly with VF2 subgraph **monomorphism**
+   (pattern bonds must exist in the target; extra target bonds are
+   allowed), with element and aromaticity matched per atom and bond
+   order per bond.
+
+The screen is sound (never discards a true match — property-tested) but
+not complete; VF2 settles the survivors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import networkx as nx
+from networkx.algorithms import isomorphism
+
+from repro.chem.mol import Molecule
+from repro.chem.smiles import parse_smiles
+from repro.errors import ChemError
+
+
+def _typed_graph(mol: Molecule) -> nx.Graph:
+    graph = nx.Graph()
+    for atom in mol.atoms:
+        graph.add_node(atom.index, element=atom.element,
+                       aromatic=atom.aromatic)
+    for bond in mol.bonds:
+        graph.add_edge(bond.first, bond.second,
+                       order=bond.order, aromatic=bond.aromatic)
+    return graph
+
+
+def _atoms_match(target_attrs: dict, pattern_attrs: dict) -> bool:
+    return (target_attrs["element"] == pattern_attrs["element"]
+            and target_attrs["aromatic"] == pattern_attrs["aromatic"])
+
+
+def _bonds_match(target_attrs: dict, pattern_attrs: dict) -> bool:
+    if pattern_attrs["aromatic"] or target_attrs["aromatic"]:
+        return pattern_attrs["aromatic"] == target_attrs["aromatic"]
+    return pattern_attrs["order"] == target_attrs["order"]
+
+
+class SubstructurePattern:
+    """A parsed, screen-profiled fragment ready for repeated matching."""
+
+    def __init__(self, smiles: str) -> None:
+        if not smiles:
+            raise ChemError("substructure pattern needs SMILES text")
+        self.smiles = smiles
+        self.fragment = parse_smiles(smiles)
+        self.graph = _typed_graph(self.fragment)
+        self.element_counts = Counter(
+            atom.element for atom in self.fragment.atoms
+        )
+        self.bond_count = len(self.fragment.bonds)
+        self.ring_count = len(self.fragment.rings())
+        self.aromatic_atoms = sum(
+            1 for atom in self.fragment.atoms if atom.aromatic
+        )
+
+    # -- stage 1: the count screen ----------------------------------------
+
+    def screen(self, mol: Molecule) -> bool:
+        """Can *mol* possibly contain the fragment? (Sound, incomplete.)"""
+        if len(mol.bonds) < self.bond_count:
+            return False
+        if len(mol.rings()) < self.ring_count:
+            return False
+        if sum(1 for a in mol.atoms if a.aromatic) < self.aromatic_atoms:
+            return False
+        counts = Counter(atom.element for atom in mol.atoms)
+        return all(
+            counts.get(element, 0) >= needed
+            for element, needed in self.element_counts.items()
+        )
+
+    # -- stage 2: exact matching ----------------------------------------------
+
+    def matches(self, mol: Molecule) -> bool:
+        """True if *mol* contains the fragment (screen + VF2)."""
+        if not self.screen(mol):
+            return False
+        matcher = isomorphism.GraphMatcher(
+            _typed_graph(mol), self.graph,
+            node_match=_atoms_match, edge_match=_bonds_match,
+        )
+        return matcher.subgraph_is_monomorphic()
+
+    def match_count(self, mol: Molecule) -> int:
+        """Number of distinct atom mappings (symmetry included)."""
+        if not self.screen(mol):
+            return 0
+        matcher = isomorphism.GraphMatcher(
+            _typed_graph(mol), self.graph,
+            node_match=_atoms_match, edge_match=_bonds_match,
+        )
+        return sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+
+    def __repr__(self) -> str:
+        return f"SubstructurePattern({self.smiles!r})"
+
+
+def has_substructure(mol: Molecule, fragment_smiles: str) -> bool:
+    """One-shot convenience wrapper around :class:`SubstructurePattern`."""
+    return SubstructurePattern(fragment_smiles).matches(mol)
+
+
+def filter_library(patterns: SubstructurePattern,
+                   molecules: dict[str, Molecule]) -> tuple[frozenset[str],
+                                                            int]:
+    """Match a pattern over a keyed library.
+
+    Returns (matching keys, how many survived the screen) — the second
+    number is what the screening experiment reports.
+    """
+    screened = {
+        key: mol for key, mol in molecules.items()
+        if patterns.screen(mol)
+    }
+    matches = frozenset(
+        key for key, mol in screened.items() if patterns.matches(mol)
+    )
+    return matches, len(screened)

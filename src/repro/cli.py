@@ -1,0 +1,261 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Offers the zero-code tour of the system:
+
+* ``info``    — build a synthetic world and print its shape;
+* ``query``   — run one DTQL query (optimized, naive, or EXPLAIN);
+* ``clades``  — per-clade materialized statistics of the tree;
+* ``tree``    — draw the annotated tree as ASCII art;
+* ``mobile``  — replay a gesture session on a chosen network profile;
+* ``similar`` — structural similarity search around a SMILES probe;
+* ``export``  — write the world as FASTA / Newick / SMILES / CSV.
+
+Every command builds the same deterministic world from ``--seed``
+``--leaves`` ``--ligands``, so results are reproducible and commands
+compose (a clade name printed by ``clades`` works in ``query``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core import NaiveEngine, QueryEngine
+from repro.errors import DrugTreeError
+from repro.mobile import (
+    DrugTreeServer,
+    MobileClient,
+    NetworkLink,
+    ServerConfig,
+    get_profile,
+    plan_session,
+    replay_session,
+)
+from repro.workloads import (
+    DatasetConfig,
+    TextTable,
+    build_dataset,
+    mean,
+    percentile,
+)
+
+
+def _add_world_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--leaves", type=int, default=40,
+                        help="proteins in the family (default 40)")
+    parser.add_argument("--ligands", type=int, default=80,
+                        help="compounds in the library (default 80)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="world seed (default 42)")
+
+
+def _build_world(args: argparse.Namespace):
+    return build_dataset(DatasetConfig(
+        n_leaves=args.leaves, n_ligands=args.ligands, seed=args.seed,
+    ))
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = _build_world(args)
+    drugtree, report = dataset.integrate()
+    print(drugtree)
+    print(f"integration: {report.roundtrips} round-trips, "
+          f"{report.virtual_latency_s:.2f}s simulated remote latency")
+    table = TextTable(["top-level clade", "leaves", "bindings",
+                       "mean pAff", "potent frac"])
+    for child in drugtree.tree.root.children:
+        if child.is_leaf or not child.name:
+            continue
+        stats = drugtree.clade_stats(child.name)
+        leaves = drugtree.labeling.label_of(child.name).leaf_count
+        table.add_row(child.name, leaves, int(stats["count"]),
+                      stats["mean"], stats["potent_fraction"])
+    print(table.render())
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _build_world(args)
+    drugtree = dataset.drugtree()
+    if args.explain:
+        print(QueryEngine(drugtree).explain(args.dtql))
+        return 0
+    if args.naive:
+        result = NaiveEngine(dataset.tree, dataset.registry).execute(
+            args.dtql
+        )
+        cost = (f"{result.roundtrips} round-trips, "
+                f"{result.virtual_latency_s:.2f}s simulated latency")
+    else:
+        fast = QueryEngine(drugtree).execute(args.dtql)
+        result = fast
+        cost = (f"{fast.counters.get('rows_scanned', 0)} rows scanned, "
+                f"cache: {fast.cache_outcome}")
+    limit = args.max_rows
+    for row in result.rows[:limit]:
+        print(row)
+    shown = min(len(result.rows), limit)
+    print(f"-- {len(result.rows)} rows ({shown} shown); {cost}")
+    return 0
+
+
+def _cmd_clades(args: argparse.Namespace) -> int:
+    dataset = _build_world(args)
+    drugtree = dataset.drugtree()
+    table = TextTable(["clade", "depth", "leaves", "bindings",
+                       "mean pAff", "max pAff"])
+    for clade in dataset.family.clade_names[:args.max_rows]:
+        label = drugtree.labeling.label_of(clade)
+        stats = drugtree.clade_stats(clade)
+        table.add_row(clade, label.depth, label.leaf_count,
+                      int(stats["count"]), stats["mean"], stats["max"])
+    print(table.render())
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    from repro.bio.draw import ascii_tree
+
+    dataset = _build_world(args)
+    drugtree = dataset.drugtree()
+
+    def annotate(node):
+        if not node.name:
+            return ""
+        stats = drugtree.clade_aggregates.stats_for(node)
+        if stats["count"] == 0:
+            return ""
+        return (f"[{int(stats['count'])} bindings, "
+                f"max pAff {stats['max']:.1f}]")
+
+    print(ascii_tree(drugtree.tree, annotate=annotate,
+                     max_depth=args.depth,
+                     show_branch_lengths=args.lengths))
+    return 0
+
+
+def _cmd_mobile(args: argparse.Namespace) -> int:
+    dataset = _build_world(args)
+    drugtree = dataset.drugtree()
+    config = ServerConfig(use_lod=not args.no_lod,
+                          use_delta=not args.no_delta)
+    server = DrugTreeServer(drugtree, config)
+    link = NetworkLink(get_profile(args.network), dataset.clock,
+                       seed=args.seed)
+    client = MobileClient(server, link)
+    session = plan_session(args.gestures, seed=args.seed)
+    replay_session(client, session, dataset.family.clade_names)
+    latencies = client.latencies()
+    print(f"{args.gestures}-gesture session on {args.network} "
+          f"(LOD={'off' if args.no_lod else 'on'}, "
+          f"delta={'off' if args.no_delta else 'on'}):")
+    print(f"  mean latency {mean(latencies):.3f}s, "
+          f"p95 {percentile(latencies, 0.95):.3f}s, "
+          f"{client.total_bytes_down / 1024:.1f} KB downloaded")
+    return 0
+
+
+def _cmd_similar(args: argparse.Namespace) -> int:
+    dataset = _build_world(args)
+    drugtree = dataset.drugtree()
+    engine = QueryEngine(drugtree)
+    dtql = (f"SELECT ligand_id, smiles, molecular_weight, logp "
+            f"SIMILAR TO '{args.smiles}' >= {args.threshold}")
+    result = engine.execute(dtql)
+    table = TextTable(["ligand", "SMILES", "MW", "logP"])
+    for row in result.rows[:args.max_rows]:
+        table.add_row(row["ligand_id"], row["smiles"][:40],
+                      row["molecular_weight"], row["logp"])
+    print(table.render())
+    print(f"-- {len(result.rows)} matches; prefilter examined "
+          f"{result.similarity_candidates} of {drugtree.ligand_count} "
+          "fingerprints")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.workloads import export_dataset
+
+    dataset = _build_world(args)
+    paths = export_dataset(dataset, args.directory)
+    for name, path in sorted(paths.items()):
+        print(f"{name:10s} {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DrugTree reproduction (SIGMOD 2013) command line",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="world summary")
+    _add_world_options(info)
+    info.set_defaults(handler=_cmd_info)
+
+    query = commands.add_parser("query", help="run one DTQL query")
+    _add_world_options(query)
+    query.add_argument("dtql", help="query text, e.g. "
+                       "\"SELECT count(*) FROM bindings\"")
+    query.add_argument("--naive", action="store_true",
+                       help="use the unoptimized federated engine")
+    query.add_argument("--explain", action="store_true",
+                       help="print the plan instead of executing")
+    query.add_argument("--max-rows", type=int, default=20)
+    query.set_defaults(handler=_cmd_query)
+
+    clades = commands.add_parser("clades",
+                                 help="materialized clade statistics")
+    _add_world_options(clades)
+    clades.add_argument("--max-rows", type=int, default=25)
+    clades.set_defaults(handler=_cmd_clades)
+
+    tree = commands.add_parser("tree", help="draw the annotated tree")
+    _add_world_options(tree)
+    tree.add_argument("--depth", type=int, default=None,
+                      help="collapse below this depth")
+    tree.add_argument("--lengths", action="store_true",
+                      help="show branch lengths")
+    tree.set_defaults(handler=_cmd_tree)
+
+    mobile = commands.add_parser("mobile",
+                                 help="replay a mobile session")
+    _add_world_options(mobile)
+    mobile.add_argument("--network", default="3g",
+                        choices=("edge", "3g", "hspa", "lte", "wifi"))
+    mobile.add_argument("--gestures", type=int, default=15)
+    mobile.add_argument("--no-lod", action="store_true")
+    mobile.add_argument("--no-delta", action="store_true")
+    mobile.set_defaults(handler=_cmd_mobile)
+
+    export = commands.add_parser(
+        "export", help="write the world in interchange formats")
+    _add_world_options(export)
+    export.add_argument("directory", help="output directory")
+    export.set_defaults(handler=_cmd_export)
+
+    similar = commands.add_parser("similar",
+                                  help="similarity search by SMILES")
+    _add_world_options(similar)
+    similar.add_argument("smiles", help="probe structure")
+    similar.add_argument("--threshold", type=float, default=0.6)
+    similar.add_argument("--max-rows", type=int, default=15)
+    similar.set_defaults(handler=_cmd_similar)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except DrugTreeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

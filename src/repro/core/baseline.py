@@ -1,0 +1,334 @@
+"""The naive engine: the "before" system whose lags motivated the paper.
+
+:class:`NaiveEngine` answers the same :class:`~repro.core.query.ast.Query`
+AST as the optimized engine, but the way the original DrugTree prototype
+did: no local integration, no indexes, no caching, no planning. Every
+query
+
+* resolves its subtree by walking the tree node by node,
+* re-fetches protein entries, annotations, activities and compounds from
+  the remote sources **one key per round-trip**,
+* evaluates predicates by brute force after nested-loop joins,
+* recomputes ligand fingerprints from SMILES for every similarity query.
+
+Both engines share the record→row mapping in
+:mod:`repro.core.integrate`, so on the same federation they return
+identical row sets — the benchmarks then compare what it *cost* to
+produce them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bio.tree import PhyloNode, PhyloTree
+from repro.chem.fingerprint import circular_fingerprint, tanimoto
+from repro.chem.smiles import parse_smiles
+from repro.core.integrate import ligand_row, protein_row
+from repro.core.overlay import (
+    BINDINGS_TABLE,
+    JOIN_KEYS,
+    LIGANDS_TABLE,
+    PROTEINS_TABLE,
+)
+from repro.core.query.ast import AggregateSpec, Query
+from repro.core.query.parser import parse_query
+from repro.errors import QueryError
+from repro.sources.activity import (
+    KIND_ACTIVITY_BY_PROTEIN,
+    KIND_COMPOUND,
+)
+from repro.sources.annotation import KIND_ANNOTATION
+from repro.sources.protein import KIND_PROTEIN
+from repro.sources.registry import SourceRegistry
+
+
+@dataclass
+class NaiveResult:
+    """Rows plus the remote-traffic cost of producing them."""
+
+    rows: list[dict[str, Any]]
+    roundtrips: int = 0
+    virtual_latency_s: float = 0.0
+    wall_time_s: float = 0.0
+    nodes_visited: int = 0
+    counters: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class NaiveEngine:
+    """Direct federated interpretation of DrugTree queries."""
+
+    def __init__(self, tree: PhyloTree, registry: SourceRegistry) -> None:
+        self.tree = tree
+        self.registry = registry
+
+    # -- public API -------------------------------------------------------------
+
+    def execute(self, query: Query | str) -> NaiveResult:
+        if isinstance(query, str):
+            query = parse_query(query)
+        started = time.perf_counter()
+        before = self.registry.combined_stats()
+        nodes_visited = 0
+
+        if query.subtree is not None:
+            scope, nodes_visited = self._leaves_under(
+                query.subtree.node_name
+            )
+        else:
+            scope = self.tree.leaf_names()
+        leaf_positions = {
+            name: position
+            for position, name in enumerate(self.tree.leaf_names())
+        }
+
+        tables = query.tables()
+        rows = self._rows_of(tables[0], scope, leaf_positions)
+        for table_name in tables[1:]:
+            right = self._rows_of(table_name, scope, leaf_positions)
+            key = JOIN_KEYS[(tables[0], table_name)]
+            rows = [
+                {**right_row, **left_row}
+                for left_row in rows
+                for right_row in right
+                if left_row.get(key) == right_row.get(key)
+            ]
+
+        rows = [
+            row for row in rows
+            if all(pred.matches(row.get(pred.column))
+                   for pred in query.predicates)
+        ]
+
+        if query.similar is not None:
+            rows = self._apply_similarity(rows, query)
+
+        if query.substructure is not None:
+            rows = self._apply_substructure(rows, query)
+
+        if query.aggregates:
+            rows = _aggregate(rows, query.aggregates, query.group_by)
+            if query.having:
+                rows = [
+                    row for row in rows
+                    if all(cond.matches(row.get(cond.column))
+                           for cond in query.having)
+                ]
+        elif query.select:
+            rows = [
+                {column: row.get(column) for column in query.select}
+                for row in rows
+            ]
+
+        if query.order_by is not None:
+            column = query.order_by.column
+            rows.sort(
+                key=lambda row: (row.get(column) is not None,
+                                 row.get(column)),
+                reverse=query.order_by.descending,
+            )
+        if query.limit is not None:
+            rows = rows[:query.limit]
+
+        after = self.registry.combined_stats()
+        return NaiveResult(
+            rows=rows,
+            roundtrips=int(after["roundtrips"] - before["roundtrips"]),
+            virtual_latency_s=(after["virtual_latency_s"]
+                               - before["virtual_latency_s"]),
+            wall_time_s=time.perf_counter() - started,
+            nodes_visited=nodes_visited,
+        )
+
+    # -- scope resolution --------------------------------------------------------
+
+    def _leaves_under(self, node_name: str) -> tuple[list[str], int]:
+        """Find the named node by full traversal, then collect leaves."""
+        visited = 0
+        target: PhyloNode | None = None
+        for node in self.tree.preorder():
+            visited += 1
+            if node.name == node_name:
+                target = node
+                break
+        if target is None:
+            raise QueryError(f"no tree node named {node_name!r}")
+        leaves = [leaf.name for leaf in target.leaves()]
+        visited += target.subtree_size()
+        return leaves, visited
+
+    # -- per-table row construction -----------------------------------------------
+
+    def _rows_of(self, table_name: str, scope: list[str],
+                 leaf_positions: dict[str, int]) -> list[dict[str, Any]]:
+        if table_name == PROTEINS_TABLE:
+            return self._protein_rows(scope, leaf_positions)
+        if table_name == BINDINGS_TABLE:
+            return self._binding_rows(scope, leaf_positions)
+        if table_name == LIGANDS_TABLE:
+            return self._ligand_rows()
+        raise QueryError(f"unknown table {table_name!r}")
+
+    def _protein_rows(self, scope: list[str],
+                      leaf_positions: dict[str, int],
+                      ) -> list[dict[str, Any]]:
+        rows = []
+        for protein_id in scope:
+            entry = self.registry.fetch(KIND_PROTEIN, protein_id)
+            annotation = self.registry.fetch(KIND_ANNOTATION, protein_id)
+            row = protein_row(protein_id, entry, annotation)
+            row["leaf_pre"] = leaf_positions[protein_id]
+            rows.append(row)
+        return rows
+
+    def _binding_rows(self, scope: list[str],
+                      leaf_positions: dict[str, int],
+                      ) -> list[dict[str, Any]]:
+        # A binding only exists in the optimized overlay if its compound
+        # record exists, so the naive engine applies the same rule —
+        # at the cost of one compound fetch per distinct ligand.
+        rows = []
+        compound_seen: dict[str, bool] = {}
+        for protein_id in scope:
+            records = self.registry.fetch(KIND_ACTIVITY_BY_PROTEIN,
+                                          protein_id) or ()
+            for record in records:
+                exists = compound_seen.get(record.ligand_id)
+                if exists is None:
+                    compound = self.registry.fetch(KIND_COMPOUND,
+                                                   record.ligand_id)
+                    exists = compound is not None
+                    compound_seen[record.ligand_id] = exists
+                if not exists:
+                    continue
+                rows.append({
+                    "ligand_id": record.ligand_id,
+                    "protein_id": record.protein_id,
+                    "activity_type": record.activity_type.value,
+                    "value_nm": record.value_nm,
+                    "p_affinity": record.p_affinity,
+                    "potent": record.is_potent,
+                    "leaf_pre": leaf_positions[record.protein_id],
+                })
+        return rows
+
+    def _ligand_rows(self) -> list[dict[str, Any]]:
+        # The overlay's ligand set is "every compound referenced by any
+        # activity on the tree": the naive engine must discover that set
+        # by scanning every leaf's activities.
+        ligand_ids: set[str] = set()
+        for protein_id in self.tree.leaf_names():
+            records = self.registry.fetch(KIND_ACTIVITY_BY_PROTEIN,
+                                          protein_id) or ()
+            ligand_ids.update(record.ligand_id for record in records)
+        rows = []
+        for ligand_id in sorted(ligand_ids):
+            compound = self.registry.fetch(KIND_COMPOUND, ligand_id)
+            if compound is None:
+                continue
+            mapped = ligand_row(compound)
+            descriptors = mapped["descriptors"]
+            rows.append({
+                "ligand_id": mapped["ligand_id"],
+                "smiles": mapped["smiles"],
+                "molecular_weight": float(
+                    descriptors["molecular_weight"]
+                ),
+                "logp": float(descriptors["logp"]),
+                "tpsa": float(descriptors["tpsa"]),
+                "hbd": descriptors["hbd"],
+                "hba": descriptors["hba"],
+                "rotatable_bonds": descriptors["rotatable_bonds"],
+                "ring_count": descriptors["ring_count"],
+                "drug_like": descriptors["is_drug_like"],
+            })
+        return rows
+
+    # -- similarity ---------------------------------------------------------------
+
+    def _apply_similarity(self, rows: list[dict[str, Any]],
+                          query: Query) -> list[dict[str, Any]]:
+        assert query.similar is not None
+        probe = circular_fingerprint(parse_smiles(query.similar.smiles))
+        matching: dict[str, bool] = {}
+        out = []
+        for row in rows:
+            smiles = row.get("smiles")
+            ligand_id = row.get("ligand_id")
+            if smiles is None or ligand_id is None:
+                continue
+            verdict = matching.get(ligand_id)
+            if verdict is None:
+                # Recomputed per query — the naive engine keeps nothing.
+                fp = circular_fingerprint(parse_smiles(smiles))
+                verdict = tanimoto(probe, fp) >= query.similar.threshold
+                matching[ligand_id] = verdict
+            if verdict:
+                out.append(row)
+        return out
+
+
+    def _apply_substructure(self, rows: list[dict[str, Any]],
+                            query: Query) -> list[dict[str, Any]]:
+        assert query.substructure is not None
+        from repro.chem.substructure import SubstructurePattern
+
+        pattern = SubstructurePattern(query.substructure.smiles)
+        verdicts: dict[str, bool] = {}
+        out = []
+        for row in rows:
+            smiles = row.get("smiles")
+            ligand_id = row.get("ligand_id")
+            if smiles is None or ligand_id is None:
+                continue
+            verdict = verdicts.get(ligand_id)
+            if verdict is None:
+                # Re-parsed per query: the naive engine keeps nothing.
+                verdict = pattern.matches(parse_smiles(smiles))
+                verdicts[ligand_id] = verdict
+            if verdict:
+                out.append(row)
+        return out
+
+
+def _aggregate(rows: list[dict[str, Any]],
+               aggregates: tuple[AggregateSpec, ...],
+               group_by: str | None) -> list[dict[str, Any]]:
+    """Brute-force aggregation with the engine's SQL-style semantics."""
+    groups: dict[Any, list[dict[str, Any]]] = {}
+    for row in rows:
+        key = row.get(group_by) if group_by else None
+        groups.setdefault(key, []).append(row)
+    if not groups and group_by is None:
+        groups[None] = []
+    out = []
+    for key in sorted(groups, key=repr):
+        members = groups[key]
+        result: dict[str, Any] = {}
+        if group_by is not None:
+            result[group_by] = key
+        for agg in aggregates:
+            if agg.column == "*":
+                result[agg.output_name] = len(members)
+                continue
+            values = [row.get(agg.column) for row in members
+                      if row.get(agg.column) is not None]
+            if agg.func == "count":
+                result[agg.output_name] = len(values)
+            elif not values:
+                result[agg.output_name] = None
+            elif agg.func == "sum":
+                result[agg.output_name] = sum(values)
+            elif agg.func == "mean":
+                result[agg.output_name] = sum(values) / len(values)
+            elif agg.func == "min":
+                result[agg.output_name] = min(values)
+            else:
+                result[agg.output_name] = max(values)
+        out.append(result)
+    return out

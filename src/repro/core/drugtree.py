@@ -1,0 +1,262 @@
+"""The DrugTree: a phylogenetic tree with a ligand-data overlay.
+
+This is the system's central object — "a tool that overlays ligand data
+on a protein-motivated phylogenetic tree". It owns:
+
+* the :class:`~repro.bio.tree.PhyloTree` and its interval labeling;
+* the three overlay tables (``proteins``, ``ligands``, ``bindings``);
+* the materialized per-clade aggregates;
+* the ligand fingerprint library for similarity search;
+* table statistics for the optimizer.
+
+Use :meth:`DrugTree.build` for the common case, or construct empty and
+populate through :meth:`add_protein` / :meth:`add_ligand` /
+:meth:`add_binding` (which is what the integration pipeline does).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.bio.seq import ProteinSequence
+from repro.bio.seqsearch import KmerIndex, SearchHit
+from repro.bio.tree import PhyloTree
+from repro.chem.affinity import BindingRecord
+from repro.chem.fingerprint import Fingerprint, circular_fingerprint
+from repro.chem.mol import Molecule
+from repro.chem.search import FingerprintIndex
+from repro.chem.smiles import parse_smiles
+from repro.core.labeling import IntervalLabeling
+from repro.core.overlay import (
+    BINDINGS_TABLE,
+    LIGANDS_TABLE,
+    PROTEINS_TABLE,
+    CladeAggregates,
+    make_overlay_tables,
+)
+from repro.errors import QueryError
+from repro.storage.statistics import TableStatistics, analyze
+from repro.storage.table import Table
+
+
+class DrugTree:
+    """A queryable protein-ligand overlay over a phylogenetic tree."""
+
+    def __init__(self, tree: PhyloTree) -> None:
+        self.tree = tree
+        self.labeling = IntervalLabeling(tree)
+        self.tables: dict[str, Table] = make_overlay_tables()
+        self.clade_aggregates = CladeAggregates(
+            tree, self.labeling, self.tables[BINDINGS_TABLE],
+        )
+        self.fingerprints: dict[str, Fingerprint] = {}
+        self.fingerprint_index = FingerprintIndex()
+        self.molecules: dict[str, Molecule] = {}
+        self.sequence_index = KmerIndex()
+        self._statistics: dict[str, TableStatistics] | None = None
+        self._mutation_listeners: list[Any] = []
+        self._known_proteins: set[str] = set()
+        self._known_ligands: set[str] = set()
+        for table in self.tables.values():
+            table.add_insert_listener(self._on_mutation)
+            table.add_delete_listener(self._on_mutation)
+
+    # -- population ------------------------------------------------------------
+
+    def add_protein(self, protein_id: str,
+                    organism: str | None = None,
+                    family: str | None = None,
+                    ec_number: str | None = None,
+                    resolution: float | None = None,
+                    sequence: str | None = None) -> int:
+        """Attach one protein record to its tree leaf.
+
+        When *sequence* is given, it also enters the k-mer index so the
+        DrugTree can answer "which proteins resemble this sequence?".
+        """
+        if protein_id in self._known_proteins:
+            raise QueryError(f"protein {protein_id!r} already added")
+        leaf_pre = self.labeling.leaf_position(protein_id)
+        row_id = self.tables[PROTEINS_TABLE].insert({
+            "protein_id": protein_id,
+            "organism": organism,
+            "family": family,
+            "ec_number": ec_number,
+            "resolution": resolution,
+            "leaf_pre": leaf_pre,
+        })
+        if sequence:
+            self.sequence_index.add(
+                ProteinSequence(protein_id, sequence)
+            )
+        self._known_proteins.add(protein_id)
+        return row_id
+
+    def search_similar_proteins(self, residues: str,
+                                top_k: int = 5) -> list[SearchHit]:
+        """K-mer + local-alignment search over the stored sequences."""
+        if len(self.sequence_index) == 0:
+            raise QueryError(
+                "no sequences stored; integrate with sequences or pass "
+                "them to add_protein"
+            )
+        query = ProteinSequence("query", residues)
+        return self.sequence_index.search(query, top_k=top_k)
+
+    def add_ligand(self, ligand_id: str, smiles: str,
+                   descriptors: dict[str, Any],
+                   fingerprint: Fingerprint | None = None) -> int:
+        """Register one compound with its descriptors and fingerprint."""
+        if ligand_id in self._known_ligands:
+            raise QueryError(f"ligand {ligand_id!r} already added")
+        row_id = self.tables[LIGANDS_TABLE].insert({
+            "ligand_id": ligand_id,
+            "smiles": smiles,
+            "molecular_weight": float(descriptors["molecular_weight"]),
+            "logp": float(descriptors["logp"]),
+            "tpsa": float(descriptors["tpsa"]),
+            "hbd": int(descriptors["hbd"]),
+            "hba": int(descriptors["hba"]),
+            "rotatable_bonds": int(descriptors["rotatable_bonds"]),
+            "ring_count": int(descriptors["ring_count"]),
+            "drug_like": bool(descriptors.get("is_drug_like", True)),
+        })
+        molecule = parse_smiles(smiles, name=ligand_id)
+        if fingerprint is None:
+            fingerprint = circular_fingerprint(molecule)
+        self.fingerprints[ligand_id] = fingerprint
+        self.fingerprint_index.add(ligand_id, fingerprint)
+        self.molecules[ligand_id] = molecule
+        self._known_ligands.add(ligand_id)
+        return row_id
+
+    def add_binding(self, record: BindingRecord) -> int:
+        """Attach one binding measurement (protein must be added first)."""
+        if record.protein_id not in self._known_proteins:
+            raise QueryError(
+                f"binding references unknown protein {record.protein_id!r}"
+            )
+        leaf_pre = self.labeling.leaf_position(record.protein_id)
+        return self.tables[BINDINGS_TABLE].insert({
+            "ligand_id": record.ligand_id,
+            "protein_id": record.protein_id,
+            "activity_type": record.activity_type.value,
+            "value_nm": record.value_nm,
+            "p_affinity": record.p_affinity,
+            "potent": record.is_potent,
+            "leaf_pre": leaf_pre,
+        })
+
+    # -- physical design ---------------------------------------------------------
+
+    def create_default_indexes(self) -> None:
+        """The physical design the optimized engine assumes.
+
+        Hash indexes on every join/lookup key, sorted indexes on the
+        interval-labeling column and the numeric columns queries range
+        over. Idempotent-by-name is not attempted: call once.
+        """
+        bindings = self.tables[BINDINGS_TABLE]
+        bindings.create_index(["leaf_pre"], kind="sorted")
+        bindings.create_index(["protein_id"], kind="hash")
+        bindings.create_index(["ligand_id"], kind="hash")
+        bindings.create_index(["p_affinity"], kind="sorted")
+        proteins = self.tables[PROTEINS_TABLE]
+        proteins.create_index(["protein_id"], kind="hash")
+        proteins.create_index(["leaf_pre"], kind="sorted")
+        proteins.create_index(["organism"], kind="hash")
+        proteins.create_index(["family"], kind="hash")
+        ligands = self.tables[LIGANDS_TABLE]
+        ligands.create_index(["ligand_id"], kind="hash")
+        ligands.create_index(["molecular_weight"], kind="sorted")
+        ligands.create_index(["logp"], kind="sorted")
+
+    def refresh_statistics(self) -> dict[str, TableStatistics]:
+        """ANALYZE every overlay table; call after bulk loading."""
+        self._statistics = {
+            name: analyze(table) for name, table in self.tables.items()
+        }
+        return self._statistics
+
+    @property
+    def statistics(self) -> dict[str, TableStatistics]:
+        if self._statistics is None:
+            self.refresh_statistics()
+        assert self._statistics is not None
+        return self._statistics
+
+    def _on_mutation(self, row_id: int, row: tuple) -> None:
+        self._statistics = None  # stale after any change
+        for listener in self._mutation_listeners:
+            listener()
+
+    def add_mutation_listener(self, listener) -> None:
+        """Called on any overlay change (the semantic cache hooks this)."""
+        self._mutation_listeners.append(listener)
+
+    # -- convenience reads ---------------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        return self.labeling.leaf_count
+
+    @property
+    def protein_count(self) -> int:
+        return len(self._known_proteins)
+
+    @property
+    def ligand_count(self) -> int:
+        return len(self._known_ligands)
+
+    @property
+    def binding_count(self) -> int:
+        return self.tables[BINDINGS_TABLE].row_count
+
+    def clade_stats(self, node_name: str) -> dict[str, float]:
+        """Materialized binding statistics of one named clade."""
+        return self.clade_aggregates.stats_for_name(node_name)
+
+    def bindings_for_protein(self, protein_id: str) -> list[dict[str, Any]]:
+        table = self.tables[BINDINGS_TABLE]
+        index = table.index_on("protein_id")
+        if index is not None:
+            return [table.get_dict(row_id)
+                    for row_id in index.lookup(protein_id)]
+        return [
+            table.schema.row_as_dict(row)
+            for row in table.scan_rows()
+            if table.value(row, "protein_id") == protein_id
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"DrugTree(leaves={self.leaf_count}, "
+            f"proteins={self.protein_count}, ligands={self.ligand_count}, "
+            f"bindings={self.binding_count})"
+        )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, tree: PhyloTree,
+              proteins: list[dict[str, Any]] | None = None,
+              ligands: list[dict[str, Any]] | None = None,
+              bindings: list[BindingRecord] | None = None,
+              create_indexes: bool = True) -> "DrugTree":
+        """Assemble a DrugTree from in-memory records.
+
+        ``proteins`` entries are keyword dicts for :meth:`add_protein`
+        (``protein_id`` required); ``ligands`` entries for
+        :meth:`add_ligand` (``ligand_id``, ``smiles``, ``descriptors``).
+        """
+        drugtree = cls(tree)
+        for protein in proteins or []:
+            drugtree.add_protein(**protein)
+        for ligand in ligands or []:
+            drugtree.add_ligand(**ligand)
+        for record in bindings or []:
+            drugtree.add_binding(record)
+        if create_indexes:
+            drugtree.create_default_indexes()
+        drugtree.refresh_statistics()
+        return drugtree

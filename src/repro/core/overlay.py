@@ -1,0 +1,203 @@
+"""The ligand overlay: local tables plus clade-level aggregates.
+
+"DrugTree is a tool that overlays ligand data on a protein-motivated
+phylogenetic tree" — this module is that overlay. Integrated records
+land in three typed tables (``proteins``, ``ligands``, ``bindings``),
+each binding row carrying the *leaf position* of its protein so subtree
+predicates become integer ranges (see :mod:`repro.core.labeling`).
+
+:class:`CladeAggregates` is the second "novel mechanism": every tree
+node keeps materialized statistics of the bindings under it, maintained
+incrementally in O(depth) per binding insert, so clade-aggregate queries
+read one precomputed record instead of re-aggregating the overlay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.tree import PhyloNode, PhyloTree
+from repro.core.labeling import IntervalLabeling
+from repro.errors import QueryError
+from repro.storage import (
+    Schema,
+    Table,
+    bool_column,
+    float_column,
+    int_column,
+    string_column,
+)
+
+PROTEINS_TABLE = "proteins"
+LIGANDS_TABLE = "ligands"
+BINDINGS_TABLE = "bindings"
+
+
+def proteins_schema() -> Schema:
+    return Schema([
+        string_column("protein_id"),
+        string_column("organism", nullable=True),
+        string_column("family", nullable=True),
+        string_column("ec_number", nullable=True),
+        float_column("resolution", nullable=True),
+        int_column("leaf_pre"),
+    ])
+
+
+def ligands_schema() -> Schema:
+    return Schema([
+        string_column("ligand_id"),
+        string_column("smiles"),
+        float_column("molecular_weight"),
+        float_column("logp"),
+        float_column("tpsa"),
+        int_column("hbd"),
+        int_column("hba"),
+        int_column("rotatable_bonds"),
+        int_column("ring_count"),
+        bool_column("drug_like"),
+    ])
+
+
+def bindings_schema() -> Schema:
+    return Schema([
+        string_column("ligand_id"),
+        string_column("protein_id"),
+        string_column("activity_type"),
+        float_column("value_nm"),
+        float_column("p_affinity"),
+        bool_column("potent"),
+        int_column("leaf_pre"),
+    ])
+
+
+def make_overlay_tables() -> dict[str, Table]:
+    """Fresh, empty overlay tables keyed by canonical name."""
+    return {
+        PROTEINS_TABLE: Table(PROTEINS_TABLE, proteins_schema()),
+        LIGANDS_TABLE: Table(LIGANDS_TABLE, ligands_schema()),
+        BINDINGS_TABLE: Table(BINDINGS_TABLE, bindings_schema()),
+    }
+
+
+#: Join keys between overlay tables, as (left_table, right_table): column.
+JOIN_KEYS: dict[tuple[str, str], str] = {
+    (BINDINGS_TABLE, PROTEINS_TABLE): "protein_id",
+    (PROTEINS_TABLE, BINDINGS_TABLE): "protein_id",
+    (BINDINGS_TABLE, LIGANDS_TABLE): "ligand_id",
+    (LIGANDS_TABLE, BINDINGS_TABLE): "ligand_id",
+}
+
+
+@dataclass
+class _CladeState:
+    count: int = 0
+    total: float = 0.0
+    maximum: float | None = None
+    potent: int = 0
+
+
+class CladeAggregates:
+    """Per-clade binding statistics, maintained on the ancestor path.
+
+    Subscribes to the ``bindings`` table: every inserted binding updates
+    the O(depth) nodes on the path from its protein's leaf to the root.
+    Reads are O(1) per clade. Deletes trigger a subtree recompute for
+    ``max`` (the other aggregates fold exactly).
+    """
+
+    def __init__(self, tree: PhyloTree, labeling: IntervalLabeling,
+                 bindings: Table) -> None:
+        self.tree = tree
+        self.labeling = labeling
+        self.bindings = bindings
+        self._paff_pos = bindings.schema.index_of("p_affinity")
+        self._potent_pos = bindings.schema.index_of("potent")
+        self._leaf_pos = bindings.schema.index_of("leaf_pre")
+        self._states: dict[int, _CladeState] = {}
+        self._leaf_by_position: dict[int, PhyloNode] = {}
+        self._node_by_name: dict[str, PhyloNode] = {}
+        self._max_dirty: set[int] = set()
+        self.maintenance_ops = 0
+        for node in tree.preorder():
+            if node.name:
+                self._node_by_name.setdefault(node.name, node)
+        for leaf in tree.leaves():
+            position = labeling.leaf_position(leaf.name)
+            self._leaf_by_position[position] = leaf
+        for _, row in bindings.scan():
+            self._apply(row, sign=+1)
+        bindings.add_insert_listener(self._on_insert)
+        bindings.add_delete_listener(self._on_delete)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _path_of(self, row: tuple) -> list[PhyloNode]:
+        position = row[self._leaf_pos]
+        leaf = self._leaf_by_position.get(position)
+        if leaf is None:
+            raise QueryError(
+                f"binding references unknown leaf position {position}"
+            )
+        path = [leaf]
+        path.extend(leaf.ancestors())
+        return path
+
+    def _apply(self, row: tuple, sign: int) -> None:
+        p_affinity = row[self._paff_pos]
+        potent = row[self._potent_pos]
+        for node in self._path_of(row):
+            state = self._states.setdefault(node.node_id, _CladeState())
+            state.count += sign
+            state.total += sign * p_affinity
+            state.potent += sign * (1 if potent else 0)
+            if sign > 0:
+                if state.maximum is None or p_affinity > state.maximum:
+                    state.maximum = p_affinity
+            elif p_affinity == state.maximum:
+                self._max_dirty.add(node.node_id)
+
+    def _on_insert(self, row_id: int, row: tuple) -> None:
+        self._apply(row, sign=+1)
+        self.maintenance_ops += 1
+
+    def _on_delete(self, row_id: int, row: tuple) -> None:
+        self._apply(row, sign=-1)
+        self.maintenance_ops += 1
+
+    # -- reads ---------------------------------------------------------------
+
+    def stats_for(self, node: PhyloNode) -> dict[str, float]:
+        """Aggregate statistics of the bindings in *node*'s subtree."""
+        state = self._states.get(node.node_id)
+        if state is None or state.count == 0:
+            return {"count": 0.0, "mean": 0.0, "max": 0.0,
+                    "potent_fraction": 0.0}
+        if node.node_id in self._max_dirty:
+            self._recompute_max(node)
+            state = self._states[node.node_id]
+        return {
+            "count": float(state.count),
+            "mean": state.total / state.count,
+            "max": state.maximum if state.maximum is not None else 0.0,
+            "potent_fraction": state.potent / state.count,
+        }
+
+    def stats_for_name(self, node_name: str) -> dict[str, float]:
+        node = self._node_by_name.get(node_name)
+        if node is None:
+            raise QueryError(f"no node named {node_name!r}")
+        return self.stats_for(node)
+
+    def _recompute_max(self, node: PhyloNode) -> None:
+        label = self.labeling.label_of_node(node)
+        best: float | None = None
+        for _, row in self.bindings.scan():
+            position = row[self._leaf_pos]
+            if label.leaf_low <= position < label.leaf_high:
+                value = row[self._paff_pos]
+                if best is None or value > best:
+                    best = value
+        state = self._states[node.node_id]
+        state.maximum = best
+        self._max_dirty.discard(node.node_id)

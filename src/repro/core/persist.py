@@ -1,0 +1,140 @@
+"""DrugTree persistence: save and load the integrated overlay.
+
+Integration is the expensive step (it is literally the subject of
+experiment E3), so a field deployment integrates once and snapshots the
+result. The snapshot is a single JSON document: Newick topology, the
+three overlay tables, and the fingerprint library (hex-encoded). Loading
+rebuilds indexes, statistics and the materialized clade aggregates from
+scratch — those are derived state and cheaper to recompute than to
+serialise consistently.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bio.tree import parse_newick
+from repro.chem.affinity import ActivityType, BindingRecord
+from repro.chem.fingerprint import Fingerprint
+from repro.core.drugtree import DrugTree
+from repro.core.overlay import BINDINGS_TABLE, LIGANDS_TABLE, PROTEINS_TABLE
+from repro.errors import QueryError
+
+FORMAT_VERSION = 1
+
+
+def drugtree_to_dict(drugtree: DrugTree) -> dict[str, Any]:
+    """The serialisable snapshot of one DrugTree."""
+    tables = drugtree.tables
+
+    def rows_of(name: str) -> list[dict[str, Any]]:
+        table = tables[name]
+        return [table.schema.row_as_dict(row)
+                for row in table.scan_rows()]
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "newick": drugtree.tree.to_newick(),
+        "proteins": rows_of(PROTEINS_TABLE),
+        "ligands": rows_of(LIGANDS_TABLE),
+        "bindings": rows_of(BINDINGS_TABLE),
+        "fingerprints": {
+            ligand_id: {
+                "bits": format(fp.bits, "x"),
+                "n_bits": fp.n_bits,
+            }
+            for ligand_id, fp in sorted(drugtree.fingerprints.items())
+        },
+        "sequences": {
+            protein_id: sequence.residues
+            for protein_id in sorted(
+                row[0] for row in tables[PROTEINS_TABLE].scan_rows()
+            )
+            if (sequence := drugtree.sequence_index.get(protein_id))
+            is not None
+        },
+    }
+
+
+def drugtree_from_dict(data: dict[str, Any],
+                       create_indexes: bool = True) -> DrugTree:
+    """Rebuild a DrugTree from a snapshot dict."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise QueryError(
+            f"unsupported snapshot format {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    drugtree = DrugTree(parse_newick(data["newick"]))
+
+    sequences = data.get("sequences", {})
+    for row in data["proteins"]:
+        drugtree.add_protein(
+            protein_id=row["protein_id"],
+            organism=row.get("organism"),
+            family=row.get("family"),
+            ec_number=row.get("ec_number"),
+            resolution=row.get("resolution"),
+            sequence=sequences.get(row["protein_id"]),
+        )
+
+    fingerprints = data.get("fingerprints", {})
+    for row in data["ligands"]:
+        ligand_id = row["ligand_id"]
+        stored = fingerprints.get(ligand_id)
+        fingerprint = None
+        if stored is not None:
+            fingerprint = Fingerprint(int(stored["bits"], 16),
+                                      int(stored["n_bits"]))
+        drugtree.add_ligand(
+            ligand_id=ligand_id,
+            smiles=row["smiles"],
+            descriptors={
+                "molecular_weight": row["molecular_weight"],
+                "logp": row["logp"],
+                "tpsa": row["tpsa"],
+                "hbd": row["hbd"],
+                "hba": row["hba"],
+                "rotatable_bonds": row["rotatable_bonds"],
+                "ring_count": row["ring_count"],
+                "is_drug_like": row["drug_like"],
+            },
+            fingerprint=fingerprint,
+        )
+
+    for row in data["bindings"]:
+        drugtree.add_binding(BindingRecord(
+            ligand_id=row["ligand_id"],
+            protein_id=row["protein_id"],
+            activity_type=ActivityType(row["activity_type"]),
+            value_nm=row["value_nm"],
+        ))
+
+    if create_indexes:
+        drugtree.create_default_indexes()
+    drugtree.refresh_statistics()
+    return drugtree
+
+
+def save_drugtree(drugtree: DrugTree, path: str | Path) -> Path:
+    """Write a snapshot to *path* (JSON); returns the path."""
+    target = Path(path)
+    payload = drugtree_to_dict(drugtree)
+    target.write_text(json.dumps(payload, sort_keys=True), "utf-8")
+    return target
+
+
+def load_drugtree(path: str | Path,
+                  create_indexes: bool = True) -> DrugTree:
+    """Load a snapshot written by :func:`save_drugtree`."""
+    source = Path(path)
+    try:
+        data = json.loads(source.read_text("utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise QueryError(f"cannot load snapshot {source}: {exc}") \
+            from None
+    if not isinstance(data, dict):
+        raise QueryError("snapshot must be a JSON object")
+    return drugtree_from_dict(data, create_indexes=create_indexes)

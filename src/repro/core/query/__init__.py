@@ -1,0 +1,45 @@
+"""Query model, optimizer, executor, and semantic cache."""
+
+from repro.core.query.ast import (
+    AGGREGATE_FUNCS,
+    COMPARISON_OPS,
+    AggregateSpec,
+    Comparison,
+    HavingCondition,
+    OrderBy,
+    Query,
+    SimilarityFilter,
+    SubstructureFilter,
+    SubtreeFilter,
+)
+from repro.core.query.cache import CacheHit, SemanticCache
+from repro.core.query.cards import CardinalityEstimator
+from repro.core.query.executor import EngineConfig, QueryEngine, QueryResult
+from repro.core.query.parser import parse_query
+from repro.core.query.planner import Planner, PlannerConfig, PlanReport
+from repro.core.query.rules import NormalizedQuery, normalize
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "COMPARISON_OPS",
+    "AggregateSpec",
+    "CacheHit",
+    "CardinalityEstimator",
+    "Comparison",
+    "EngineConfig",
+    "HavingCondition",
+    "NormalizedQuery",
+    "OrderBy",
+    "PlanReport",
+    "Planner",
+    "PlannerConfig",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "SemanticCache",
+    "SimilarityFilter",
+    "SubstructureFilter",
+    "SubtreeFilter",
+    "normalize",
+    "parse_query",
+]

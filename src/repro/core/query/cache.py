@@ -1,0 +1,186 @@
+"""Semantic query-result cache with predicate subsumption.
+
+The third "novel mechanism". Beyond exact-match result reuse, the cache
+answers a query from a *broader* cached result when it can prove
+containment:
+
+* same table set, full-width cached rows (no projection/aggregation);
+* every cached predicate is implied by some predicate of the new query
+  (so the new result is a subset of the cached rows);
+* the cached subtree contains the new query's subtree (interval
+  labeling makes this an O(1) check).
+
+On a subsumption hit the engine re-applies the new query's predicates,
+subtree range, projection, order and limit to the cached rows — pure
+in-memory work, no table or source access.
+
+Any mutation of an overlay table invalidates the whole cache (DrugTree
+workloads are read-dominated; finer-grained invalidation is future
+work, as it was for the poster).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.labeling import IntervalLabeling
+from repro.core.query.ast import Query
+from repro.errors import QueryError
+
+
+@dataclass
+class CacheHit:
+    """A cache answer plus how it was derived."""
+
+    rows: list[dict[str, Any]]
+    kind: str  # "exact" | "subsumed"
+    source_signature: str
+
+
+@dataclass
+class _Entry:
+    query: Query
+    rows: list[dict[str, Any]]
+
+
+class SemanticCache:
+    """LRU semantic result cache."""
+
+    def __init__(self, labeling: IntervalLabeling,
+                 capacity: int = 128) -> None:
+        if capacity < 1:
+            raise QueryError("cache capacity must be positive")
+        self.labeling = labeling
+        self.capacity = capacity
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.exact_hits = 0
+        self.subsumption_hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, query: Query) -> CacheHit | None:
+        exact = self._entries.get(query.signature())
+        if exact is not None:
+            self._entries.move_to_end(query.signature())
+            self.exact_hits += 1
+            return CacheHit(list(exact.rows), "exact", query.signature())
+
+        for signature, entry in self._entries.items():
+            if self._subsumes(entry.query, query):
+                rows = self._derive(entry.rows, query)
+                if rows is None:
+                    continue
+                self._entries.move_to_end(signature)
+                self.subsumption_hits += 1
+                return CacheHit(rows, "subsumed", signature)
+        self.misses += 1
+        return None
+
+    def _subsumes(self, cached: Query, query: Query) -> bool:
+        """Is the new query's result provably contained in *cached*'s?"""
+        if cached.aggregates or cached.select:
+            return False  # only full-width row sets can be reused
+        if cached.similar is not None or query.similar is not None:
+            return False
+        if (cached.substructure is not None
+                or query.substructure is not None):
+            return False
+        if cached.limit is not None:
+            return False  # truncated results are not reusable
+        if cached.tables() != query.tables():
+            return False
+        for cached_pred in cached.predicates:
+            if not any(new_pred.implies(cached_pred)
+                       for new_pred in query.predicates):
+                return False
+        if cached.subtree is not None:
+            if query.subtree is None:
+                return False
+            if not self._subtree_contains(cached.subtree.node_name,
+                                          query.subtree.node_name):
+                return False
+        return True
+
+    def _subtree_contains(self, outer: str, inner: str) -> bool:
+        if outer == inner:
+            return True
+        if not (self.labeling.has_name(outer)
+                and self.labeling.has_name(inner)):
+            return False
+        return self.labeling.is_ancestor(outer, inner)
+
+    def _derive(self, rows: list[dict[str, Any]],
+                query: Query) -> list[dict[str, Any]] | None:
+        """Recompute *query* over cached full-width rows."""
+        out = [
+            row for row in rows
+            if all(pred.matches(row.get(pred.column))
+                   for pred in query.predicates)
+        ]
+        if query.subtree is not None:
+            if not self.labeling.has_name(query.subtree.node_name):
+                return None
+            low, high = self.labeling.leaf_range(query.subtree.node_name)
+            if rows and "leaf_pre" not in rows[0]:
+                return None
+            out = [row for row in out if low <= row["leaf_pre"] < high]
+        if query.aggregates:
+            return None  # engine re-aggregates itself; keep cache simple
+        if query.order_by is not None:
+            column = query.order_by.column
+            out.sort(
+                key=lambda row: (row.get(column) is not None,
+                                 row.get(column)),
+                reverse=query.order_by.descending,
+            )
+        if query.limit is not None:
+            out = out[:query.limit]
+        if query.select:
+            try:
+                out = [
+                    {column: row[column] for column in query.select}
+                    for row in out
+                ]
+            except KeyError:
+                return None
+        else:
+            out = [dict(row) for row in out]
+        return out
+
+    # -- store / invalidate -----------------------------------------------------
+
+    def store(self, query: Query, rows: list[dict[str, Any]]) -> None:
+        """Cache a result. Aggregate/limited results are stored for
+        exact reuse; full-width results additionally serve subsumption."""
+        signature = query.signature()
+        self._entries[signature] = _Entry(query, list(rows))
+        self._entries.move_to_end(signature)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        self._entries.clear()
+        self.invalidations += 1
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.exact_hits + self.subsumption_hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "exact_hits": self.exact_hits,
+            "subsumption_hits": self.subsumption_hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }

@@ -1,0 +1,293 @@
+"""DTQL: the small text query language of the DrugTree system.
+
+Grammar (keywords case-insensitive, strings single-quoted)::
+
+    query  := SELECT items [FROM tables] [WHERE pred (AND pred)*]
+              [IN SUBTREE 'node'] [SIMILAR TO 'smiles' >= number]
+          [CONTAINING 'smiles-fragment']
+              [GROUP BY column] [HAVING hcond (AND hcond)*]
+              [ORDER BY column [ASC|DESC]] [LIMIT n]
+    items  := '*' | item (',' item)*
+    item   := column | func '(' (column | '*') ')'
+    pred   := column op literal
+            | column IN '(' literal (',' literal)* ')'
+            | column BETWEEN literal AND literal
+    op     := = | != | < | <= | > | >=
+
+Examples::
+
+    SELECT * FROM bindings WHERE p_affinity >= 7.0 IN SUBTREE 'clade_12'
+    SELECT organism, count(*) FROM bindings, proteins
+        WHERE potent = true GROUP BY organism
+    SELECT ligand_id, p_affinity ORDER BY p_affinity DESC LIMIT 10
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.core.query.ast import (
+    AggregateSpec,
+    Comparison,
+    HavingCondition,
+    OrderBy,
+    Query,
+    SimilarityFilter,
+    SubstructureFilter,
+    SubtreeFilter,
+)
+from repro.errors import ParseError, QueryError
+
+_KNOWN_TABLES = ("bindings", "proteins", "ligands")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>'(?:[^']|'')*')
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<punct>[(),*])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at "
+                f"offset {position}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        assert kind is not None
+        if kind == "ws":
+            continue
+        tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> tuple[str, str] | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def _keyword(self, *words: str) -> bool:
+        """Consume the keyword sequence if present."""
+        saved = self.position
+        for word in words:
+            token = self._peek()
+            if token is None or token[0] != "word" \
+                    or token[1].upper() != word:
+                self.position = saved
+                return False
+            self.position += 1
+        return True
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._keyword(word):
+            raise ParseError(f"expected keyword {word}")
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._next()
+        if token != ("punct", symbol):
+            raise ParseError(f"expected {symbol!r}, got {token[1]!r}")
+
+    def _identifier(self) -> str:
+        token = self._next()
+        if token[0] != "word":
+            raise ParseError(f"expected identifier, got {token[1]!r}")
+        return token[1]
+
+    def _literal(self) -> Any:
+        token = self._next()
+        kind, text = token
+        if kind == "string":
+            return text[1:-1].replace("''", "'")
+        if kind == "number":
+            value = float(text)
+            return int(value) if value.is_integer() and "." not in text \
+                and "e" not in text.lower() else value
+        if kind == "word" and text.upper() in ("TRUE", "FALSE"):
+            return text.upper() == "TRUE"
+        raise ParseError(f"expected literal, got {text!r}")
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        select, aggregates = self._select_items()
+        from_tables: list[str] = []
+        if self._keyword("FROM"):
+            from_tables = self._table_list()
+        predicates: list[Comparison] = []
+        if self._keyword("WHERE"):
+            predicates.extend(self._predicate())
+            while self._keyword("AND"):
+                predicates.extend(self._predicate())
+        subtree = None
+        if self._keyword("IN", "SUBTREE"):
+            subtree = SubtreeFilter(self._string())
+        similar = None
+        if self._keyword("SIMILAR", "TO"):
+            smiles = self._string()
+            token = self._next()
+            if token != ("op", ">="):
+                raise ParseError("SIMILAR TO needs '>= threshold'")
+            threshold = self._literal()
+            if not isinstance(threshold, (int, float)):
+                raise ParseError("similarity threshold must be a number")
+            similar = SimilarityFilter(smiles, float(threshold))
+        substructure = None
+        if self._keyword("CONTAINING"):
+            substructure = SubstructureFilter(self._string())
+        group_by = None
+        if self._keyword("GROUP", "BY"):
+            group_by = self._identifier()
+        having: list[HavingCondition] = []
+        if self._keyword("HAVING"):
+            having.append(self._having_condition())
+            while self._keyword("AND"):
+                having.append(self._having_condition())
+        order_by = None
+        if self._keyword("ORDER", "BY"):
+            column = self._identifier()
+            descending = False
+            if self._keyword("DESC"):
+                descending = True
+            else:
+                self._keyword("ASC")
+            order_by = OrderBy(column, descending)
+        limit = None
+        if self._keyword("LIMIT"):
+            value = self._literal()
+            if not isinstance(value, int):
+                raise ParseError("LIMIT must be an integer")
+            limit = value
+        if self._peek() is not None:
+            raise ParseError(
+                f"trailing tokens starting at {self._peek()[1]!r}"
+            )
+        return Query(
+            select=tuple(select),
+            aggregates=tuple(aggregates),
+            predicates=tuple(predicates),
+            subtree=subtree,
+            similar=similar,
+            substructure=substructure,
+            group_by=group_by,
+            having=tuple(having),
+            order_by=order_by,
+            limit=limit,
+            from_tables=tuple(from_tables),
+        )
+
+    def _select_items(self) -> tuple[list[str], list[AggregateSpec]]:
+        select: list[str] = []
+        aggregates: list[AggregateSpec] = []
+        if self._peek() == ("punct", "*"):
+            self._next()
+            return select, aggregates
+        while True:
+            name = self._identifier()
+            if self._peek() == ("punct", "("):
+                self._next()
+                if self._peek() == ("punct", "*"):
+                    self._next()
+                    column = "*"
+                else:
+                    column = self._identifier()
+                self._expect_punct(")")
+                aggregates.append(AggregateSpec(name.lower(), column))
+            else:
+                select.append(name)
+            if self._peek() == ("punct", ","):
+                self._next()
+                continue
+            break
+        return select, aggregates
+
+    def _table_list(self) -> list[str]:
+        tables = [self._table_name()]
+        while self._peek() == ("punct", ","):
+            self._next()
+            tables.append(self._table_name())
+        return tables
+
+    def _table_name(self) -> str:
+        name = self._identifier().lower()
+        if name not in _KNOWN_TABLES:
+            raise ParseError(
+                f"unknown table {name!r} (known: {_KNOWN_TABLES})"
+            )
+        return name
+
+    def _predicate(self) -> list[Comparison]:
+        column = self._identifier()
+        if self._keyword("IN"):
+            self._expect_punct("(")
+            values = [self._literal()]
+            while self._peek() == ("punct", ","):
+                self._next()
+                values.append(self._literal())
+            self._expect_punct(")")
+            return [Comparison(column, "in", tuple(values))]
+        if self._keyword("BETWEEN"):
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return [Comparison(column, ">=", low),
+                    Comparison(column, "<=", high)]
+        token = self._next()
+        if token[0] != "op":
+            raise ParseError(
+                f"expected comparison operator, got {token[1]!r}"
+            )
+        return [Comparison(column, token[1], self._literal())]
+
+    def _having_condition(self) -> HavingCondition:
+        column = self._identifier()
+        token = self._next()
+        if token[0] != "op":
+            raise ParseError(
+                f"expected comparison operator, got {token[1]!r}"
+            )
+        return HavingCondition(column, token[1], self._literal())
+
+    def _string(self) -> str:
+        token = self._next()
+        if token[0] != "string":
+            raise ParseError(f"expected quoted string, got {token[1]!r}")
+        return token[1][1:-1].replace("''", "'")
+
+
+def parse_query(text: str) -> Query:
+    """Parse DTQL *text* into a :class:`Query`."""
+    if not text or not text.strip():
+        raise ParseError("empty query text")
+    try:
+        return _Parser(text.strip()).parse()
+    except QueryError as exc:
+        # Covers ParseError plus AST validation errors (bad columns,
+        # aggregates, thresholds) surfaced while building the Query.
+        raise ParseError(f"bad query {text!r}: {exc}") from None

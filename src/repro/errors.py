@@ -1,0 +1,68 @@
+"""Shared exception hierarchy for the DrugTree reproduction.
+
+Every error raised by the library derives from :class:`DrugTreeError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class DrugTreeError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SequenceError(DrugTreeError):
+    """Invalid protein sequence data (bad residue, empty sequence, ...)."""
+
+
+class AlignmentError(DrugTreeError):
+    """Pairwise or multiple alignment could not be computed."""
+
+
+class TreeError(DrugTreeError):
+    """Invalid phylogenetic tree structure or Newick text."""
+
+
+class ChemError(DrugTreeError):
+    """Invalid molecule, SMILES text, or chemical record."""
+
+
+class SourceError(DrugTreeError):
+    """A (simulated) remote data source failed to answer a request."""
+
+
+class SourceUnavailableError(SourceError):
+    """The source is temporarily unavailable (simulated outage)."""
+
+
+class RateLimitError(SourceError):
+    """The source rejected the request because of rate limiting."""
+
+
+class StorageError(DrugTreeError):
+    """Local storage layer failure (schema violation, missing table, ...)."""
+
+
+class SchemaError(StorageError):
+    """A row or value does not conform to a table schema."""
+
+
+class QueryError(DrugTreeError):
+    """Malformed query or a query referencing unknown entities."""
+
+
+class ParseError(QueryError):
+    """DTQL query text could not be parsed."""
+
+
+class PlanError(QueryError):
+    """The optimizer could not produce a physical plan for a query."""
+
+
+class MobileError(DrugTreeError):
+    """Mobile protocol or session failure."""
+
+
+class WorkloadError(DrugTreeError):
+    """Synthetic dataset or workload generation failure."""

@@ -1,0 +1,66 @@
+"""Mobile interaction substrate: network, protocol, LOD, client/server.
+
+Simulates the "mobile" half of the paper's title: a phone-class client
+navigating the DrugTree over 2013-era networks, with level-of-detail
+rendering and delta encoding keeping interactions responsive.
+"""
+
+from repro.mobile.client import ClientState, Interaction, MobileClient
+from repro.mobile.lod import expandable_nodes, render_full, render_viewport
+from repro.mobile.network import (
+    PROFILES,
+    LinkStats,
+    NetworkLink,
+    NetworkProfile,
+    get_profile,
+)
+from repro.mobile.protocol import (
+    KIND_DELTA,
+    KIND_FULL,
+    Message,
+    apply_delta,
+    compute_delta,
+    decode_payload,
+    delta_message,
+    encode_payload,
+    full_message,
+)
+from repro.mobile.server import DrugTreeServer, ServerConfig, ServerResponse
+from repro.mobile.workload import (
+    DEFAULT_TRANSITIONS,
+    GESTURES,
+    GestureSession,
+    plan_session,
+    replay_session,
+)
+
+__all__ = [
+    "DEFAULT_TRANSITIONS",
+    "GESTURES",
+    "KIND_DELTA",
+    "KIND_FULL",
+    "PROFILES",
+    "ClientState",
+    "DrugTreeServer",
+    "GestureSession",
+    "Interaction",
+    "LinkStats",
+    "Message",
+    "MobileClient",
+    "NetworkLink",
+    "NetworkProfile",
+    "ServerConfig",
+    "ServerResponse",
+    "apply_delta",
+    "compute_delta",
+    "decode_payload",
+    "delta_message",
+    "encode_payload",
+    "expandable_nodes",
+    "full_message",
+    "get_profile",
+    "plan_session",
+    "render_full",
+    "render_viewport",
+    "replay_session",
+]

@@ -1,0 +1,135 @@
+"""Mobile network models (2013-era profiles).
+
+A :class:`NetworkLink` charges virtual time for each request/response
+exchange: one round-trip of latency plus serialisation time at the
+profile's bandwidth, inflated by packet loss (lost packets are
+retransmitted, costing extra round trips). Everything is charged to the
+shared :class:`~repro.sources.clock.SimulatedClock`, so mobile transfer
+time and remote-source latency add up in the same virtual timeline.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import MobileError
+from repro.sources.clock import SimulatedClock
+
+#: Path MTU used for loss-inflation accounting.
+PACKET_BYTES = 1500
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """Bandwidth/latency/loss characteristics of one network class."""
+
+    name: str
+    downlink_bps: float
+    uplink_bps: float
+    rtt_s: float
+    loss_rate: float = 0.0
+    jitter_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.downlink_bps <= 0 or self.uplink_bps <= 0:
+            raise MobileError("bandwidth must be positive")
+        if self.rtt_s < 0:
+            raise MobileError("RTT must be non-negative")
+        if not 0.0 <= self.loss_rate < 0.5:
+            raise MobileError("loss rate must be in [0, 0.5)")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise MobileError("jitter fraction must be in [0, 1)")
+
+
+#: The network classes a 2013 mobile deployment saw in the field.
+PROFILES: dict[str, NetworkProfile] = {
+    "edge": NetworkProfile("edge", downlink_bps=120_000,
+                           uplink_bps=60_000, rtt_s=0.60,
+                           loss_rate=0.02),
+    "3g": NetworkProfile("3g", downlink_bps=1_000_000,
+                         uplink_bps=300_000, rtt_s=0.30,
+                         loss_rate=0.01),
+    "hspa": NetworkProfile("hspa", downlink_bps=4_000_000,
+                           uplink_bps=1_000_000, rtt_s=0.15,
+                           loss_rate=0.005),
+    "lte": NetworkProfile("lte", downlink_bps=12_000_000,
+                          uplink_bps=5_000_000, rtt_s=0.07,
+                          loss_rate=0.002),
+    "wifi": NetworkProfile("wifi", downlink_bps=20_000_000,
+                           uplink_bps=8_000_000, rtt_s=0.03,
+                           loss_rate=0.001),
+}
+
+
+def get_profile(name: str) -> NetworkProfile:
+    try:
+        return PROFILES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise MobileError(
+            f"unknown network profile {name!r} (known: {known})"
+        ) from None
+
+
+@dataclass
+class LinkStats:
+    """Traffic meter of one link."""
+
+    requests: int = 0
+    bytes_up: int = 0
+    bytes_down: int = 0
+    transfer_time_s: float = 0.0
+    retransmitted_packets: int = 0
+
+
+class NetworkLink:
+    """One client's connection, charging virtual time per exchange."""
+
+    def __init__(self, profile: NetworkProfile, clock: SimulatedClock,
+                 seed: int = 0) -> None:
+        self.profile = profile
+        self.clock = clock
+        self.stats = LinkStats()
+        self._rng = random.Random(seed)
+
+    def exchange(self, request_bytes: int, response_bytes: int) -> float:
+        """Charge one request/response exchange; returns seconds spent."""
+        if request_bytes < 0 or response_bytes < 0:
+            raise MobileError("byte counts must be non-negative")
+        elapsed = self.profile.rtt_s
+        elapsed += self._serialize(request_bytes, self.profile.uplink_bps)
+        elapsed += self._serialize(response_bytes,
+                                   self.profile.downlink_bps)
+        elapsed += self._loss_inflation(request_bytes + response_bytes)
+        if self.profile.jitter_fraction:
+            spread = elapsed * self.profile.jitter_fraction
+            elapsed = max(0.0, elapsed
+                          + self._rng.uniform(-spread, spread))
+        self.clock.advance(elapsed)
+        self.stats.requests += 1
+        self.stats.bytes_up += request_bytes
+        self.stats.bytes_down += response_bytes
+        self.stats.transfer_time_s += elapsed
+        return elapsed
+
+    @staticmethod
+    def _serialize(byte_count: int, bandwidth_bps: float) -> float:
+        return byte_count * 8.0 / bandwidth_bps
+
+    def _loss_inflation(self, byte_count: int) -> float:
+        """Extra time from retransmitting lost packets.
+
+        Each lost packet costs one extra RTT (its retransmission rides
+        the recovery round-trip); losses are drawn per packet.
+        """
+        if self.profile.loss_rate <= 0 or byte_count == 0:
+            return 0.0
+        packets = max(1, math.ceil(byte_count / PACKET_BYTES))
+        lost = sum(
+            self._rng.random() < self.profile.loss_rate
+            for _ in range(packets)
+        )
+        self.stats.retransmitted_packets += lost
+        return lost * self.profile.rtt_s

@@ -1,0 +1,174 @@
+"""The DrugTree mobile server: sessions, viewport navigation, queries.
+
+Holds one :class:`~repro.core.drugtree.DrugTree` behind a
+:class:`~repro.core.query.executor.QueryEngine` and serves per-client
+sessions. Each response is framed through :mod:`repro.mobile.protocol`;
+the server remembers the last payload it sent each session so it can
+ship deltas, and renders through the LOD module unless configured for
+full-tree responses (the baselines of experiments E5/E6).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.drugtree import DrugTree
+from repro.core.query.executor import EngineConfig, QueryEngine
+from repro.errors import MobileError
+from repro.mobile.lod import render_full, render_viewport
+from repro.mobile.protocol import Message, delta_message, full_message
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Mobile-protocol feature toggles (E5/E6 knobs)."""
+
+    use_lod: bool = True
+    use_delta: bool = True
+    compress: bool = True
+    lod_max_depth: int = 3
+    lod_max_nodes: int = 200
+    engine: EngineConfig = field(default_factory=EngineConfig)
+
+
+@dataclass
+class ServerResponse:
+    """One served interaction: the message plus server-side cost."""
+
+    message: Message
+    server_wall_s: float
+    payload_rows: int = 0
+
+
+@dataclass
+class _Session:
+    session_id: str
+    focus: str
+    last_payload: dict[str, Any] | None = None
+
+
+class DrugTreeServer:
+    """Serves viewport renders and DTQL queries to mobile clients."""
+
+    def __init__(self, drugtree: DrugTree,
+                 config: ServerConfig | None = None) -> None:
+        self.drugtree = drugtree
+        self.config = config or ServerConfig()
+        self.engine = QueryEngine(drugtree, self.config.engine)
+        self._sessions: dict[str, _Session] = {}
+        self._session_counter = itertools.count()
+        self._root_name = self._pick_root_name()
+
+    def _pick_root_name(self) -> str:
+        root = self.drugtree.tree.root
+        if root.name:
+            return root.name
+        # Fall back to the first named node covering the whole tree.
+        for node in self.drugtree.tree.preorder():
+            if node.name and not node.is_leaf:
+                return node.name
+        raise MobileError("tree has no named internal node to focus on")
+
+    # -- session lifecycle ------------------------------------------------------
+
+    def open_session(self) -> tuple[str, ServerResponse]:
+        """Open a session; returns its id and the initial tree render."""
+        session_id = f"s{next(self._session_counter)}"
+        session = _Session(session_id, focus=self._root_name)
+        self._sessions[session_id] = session
+        response = self._render(session, self._root_name)
+        return session_id, response
+
+    def close_session(self, session_id: str) -> None:
+        self._sessions.pop(session_id, None)
+
+    def _session(self, session_id: str) -> _Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise MobileError(f"unknown session {session_id!r}") from None
+
+    # -- interactions ---------------------------------------------------------------
+
+    def navigate(self, session_id: str, focus: str) -> ServerResponse:
+        """Move the session viewport to *focus* and render it."""
+        session = self._session(session_id)
+        response = self._render(session, focus)
+        session.focus = focus
+        return response
+
+    def query(self, session_id: str, dtql: str) -> ServerResponse:
+        """Run a DTQL query on behalf of the session."""
+        self._session(session_id)  # validates
+        started = time.perf_counter()
+        result = self.engine.execute(dtql)
+        payload = {"rows": result.rows, "cache": result.cache_outcome}
+        message = full_message(payload, compress=self.config.compress)
+        return ServerResponse(
+            message=message,
+            server_wall_s=time.perf_counter() - started,
+            payload_rows=len(result.rows),
+        )
+
+    def search_sequence(self, session_id: str, residues: str,
+                        top_k: int = 5) -> ServerResponse:
+        """Find tree proteins similar to a pasted sequence.
+
+        The field workflow behind it: a scientist gets a new enzyme
+        sequence and asks the phone where it belongs in the tree.
+        """
+        self._session(session_id)  # validates
+        started = time.perf_counter()
+        hits = self.drugtree.search_similar_proteins(residues,
+                                                     top_k=top_k)
+        payload = {
+            "hits": [
+                {
+                    "protein_id": hit.seq_id,
+                    "score": hit.score,
+                    "identity": hit.identity,
+                    "leaf_pre": self.drugtree.labeling.leaf_position(
+                        hit.seq_id
+                    ),
+                }
+                for hit in hits
+            ],
+        }
+        message = full_message(payload, compress=self.config.compress)
+        return ServerResponse(
+            message=message,
+            server_wall_s=time.perf_counter() - started,
+            payload_rows=len(hits),
+        )
+
+    # -- rendering ------------------------------------------------------------------
+
+    def _render(self, session: _Session, focus: str) -> ServerResponse:
+        started = time.perf_counter()
+        if self.config.use_lod:
+            payload = render_viewport(
+                self.drugtree, focus,
+                max_depth=self.config.lod_max_depth,
+                max_nodes=self.config.lod_max_nodes,
+            )
+        else:
+            payload = render_full(self.drugtree)
+        if self.config.use_delta and session.last_payload is not None:
+            # Adaptive framing: a big viewport jump can make the delta
+            # larger than the fresh payload — ship whichever is smaller.
+            delta = delta_message(session.last_payload, payload,
+                                  compress=self.config.compress)
+            full = full_message(payload, compress=self.config.compress)
+            message = delta if delta.wire_bytes < full.wire_bytes else full
+        else:
+            message = full_message(payload,
+                                   compress=self.config.compress)
+        session.last_payload = payload
+        return ServerResponse(
+            message=message,
+            server_wall_s=time.perf_counter() - started,
+            payload_rows=len(payload.get("nodes", {})),
+        )

@@ -1,0 +1,93 @@
+"""Gesture workloads: how a scientist actually drives the tree.
+
+A first-order Markov model over gesture kinds generates realistic
+navigation sessions: mostly drill-downs into collapsed clades, some
+pans between siblings, occasional clade queries. Replaying a gesture
+session against a client produces the latency distributions experiment
+E5 reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import MobileError
+from repro.mobile.client import Interaction, MobileClient
+from repro.mobile.lod import expandable_nodes
+
+#: Gesture kinds and the default Markov transition rows.
+GESTURES = ("expand", "pan", "query")
+
+DEFAULT_TRANSITIONS: dict[str, dict[str, float]] = {
+    "start": {"expand": 0.7, "pan": 0.2, "query": 0.1},
+    "expand": {"expand": 0.6, "pan": 0.2, "query": 0.2},
+    "pan": {"expand": 0.5, "pan": 0.3, "query": 0.2},
+    "query": {"expand": 0.6, "pan": 0.3, "query": 0.1},
+}
+
+
+@dataclass(frozen=True)
+class GestureSession:
+    """A planned sequence of gesture kinds (targets resolved live)."""
+
+    kinds: tuple[str, ...]
+    seed: int
+
+
+def plan_session(steps: int, seed: int = 0,
+                 transitions: dict[str, dict[str, float]] | None = None,
+                 ) -> GestureSession:
+    """Draw a gesture-kind sequence from the Markov model."""
+    if steps < 1:
+        raise MobileError("session needs at least one step")
+    table = transitions or DEFAULT_TRANSITIONS
+    rng = random.Random(seed)
+    state = "start"
+    kinds: list[str] = []
+    for _ in range(steps):
+        row = table.get(state) or table["start"]
+        choices, weights = zip(*row.items())
+        state = rng.choices(choices, weights=weights, k=1)[0]
+        kinds.append(state)
+    return GestureSession(tuple(kinds), seed)
+
+
+def replay_session(client: MobileClient, session: GestureSession,
+                   clade_names: list[str]) -> list[Interaction]:
+    """Execute a planned session against a live client.
+
+    Targets are resolved from the client's *current* view: expands pick
+    a collapsed node on screen, pans pick any named node, queries ask
+    for the focused clade's strong binders. Falls back gracefully when
+    a gesture has no valid target (e.g. nothing left to expand).
+    """
+    if not clade_names:
+        raise MobileError("need clade names for gesture targets")
+    rng = random.Random(session.seed + 1)
+    interactions: list[Interaction] = []
+    for kind in session.kinds:
+        if kind == "expand":
+            targets = expandable_nodes(client.state.payload)
+            if not targets:
+                kind = "pan"  # nothing collapsed: degrade to a pan
+        if kind == "expand":
+            interactions.append(client.tap_expand(rng.choice(targets)))
+        elif kind == "pan":
+            interactions.append(client.pan_to(rng.choice(clade_names)))
+        else:
+            clade = rng.choice(clade_names)
+            threshold = round(rng.uniform(5.0, 7.5), 1)
+            dtql = (
+                "SELECT count(*), mean(p_affinity), max(p_affinity) "
+                f"IN SUBTREE '{clade}'"
+            )
+            if rng.random() < 0.5:
+                dtql = (
+                    "SELECT ligand_id, p_affinity FROM bindings "
+                    f"WHERE p_affinity >= {threshold} "
+                    f"IN SUBTREE '{clade}' "
+                    "ORDER BY p_affinity DESC LIMIT 10"
+                )
+            interactions.append(client.run_query(dtql))
+    return interactions

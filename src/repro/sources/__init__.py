@@ -1,0 +1,70 @@
+"""Simulated heterogeneous remote data sources.
+
+Stands in for the live services the paper's system federated (PDB,
+ligand activity databases, annotation services): every call costs
+virtual latency, results are paged, and services can rate-limit or fail.
+See DESIGN.md for why this substitution preserves the paper's behaviour.
+"""
+
+from repro.sources.activity import (
+    KIND_ACTIVITY_BY_LIGAND,
+    KIND_ACTIVITY_BY_PROTEIN,
+    KIND_COMPOUND,
+    CompoundEntry,
+    LigandActivitySource,
+)
+from repro.sources.annotation import (
+    KIND_ANNOTATION,
+    KIND_PROTEINS_BY_FAMILY,
+    AnnotationEntry,
+    AnnotationSource,
+)
+from repro.sources.base import (
+    DataSource,
+    FaultModel,
+    LatencyModel,
+    SourceStats,
+    TableBackedSource,
+)
+from repro.sources.clock import SimulatedClock, Stopwatch
+from repro.sources.protein import (
+    KIND_PROTEIN,
+    KIND_PROTEINS_BY_ORGANISM,
+    ProteinEntry,
+    ProteinStructureSource,
+)
+from repro.sources.registry import SourceRegistry
+from repro.sources.wrappers import (
+    CachingSource,
+    PrefetchingSource,
+    RetryingSource,
+    SourceWrapper,
+)
+
+__all__ = [
+    "KIND_ACTIVITY_BY_LIGAND",
+    "KIND_ACTIVITY_BY_PROTEIN",
+    "KIND_ANNOTATION",
+    "KIND_COMPOUND",
+    "KIND_PROTEIN",
+    "KIND_PROTEINS_BY_FAMILY",
+    "KIND_PROTEINS_BY_ORGANISM",
+    "AnnotationEntry",
+    "AnnotationSource",
+    "CachingSource",
+    "CompoundEntry",
+    "DataSource",
+    "FaultModel",
+    "LatencyModel",
+    "LigandActivitySource",
+    "PrefetchingSource",
+    "ProteinEntry",
+    "ProteinStructureSource",
+    "RetryingSource",
+    "SimulatedClock",
+    "SourceRegistry",
+    "SourceStats",
+    "SourceWrapper",
+    "Stopwatch",
+    "TableBackedSource",
+]

@@ -1,0 +1,255 @@
+"""The remote data-source protocol and its cost/fault models.
+
+DrugTree's defining problem (per the paper abstract) is that "data is
+being obtained from multiple sources, integrated and then presented to
+the user". Each source here simulates a remote service: every call costs
+a round-trip of virtual latency, results are paged, the service may rate
+limit or fail transiently, and all traffic is metered so experiments can
+report round-trip counts next to latencies.
+
+All sources speak one uniform key-value dialect:
+
+* ``kinds()`` — the record kinds this source serves (``"protein"``,
+  ``"activity_by_protein"``, ...);
+* ``fetch_many(kind, keys)`` — one round-trip returning a dict of the
+  found records;
+* ``scan_keys(kind)`` — all keys of a kind, charged per page.
+
+Typed convenience methods on the concrete sources are sugar over these
+three, which is what lets the caching/batching/prefetching wrappers stay
+generic.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import RateLimitError, SourceError, SourceUnavailableError
+from repro.sources.clock import SimulatedClock
+
+
+@dataclass
+class LatencyModel:
+    """Virtual-time cost of one round-trip to a remote source.
+
+    ``base_s`` is the fixed per-request cost (network RTT plus service
+    overhead); ``per_item_s`` the marginal cost of each returned record;
+    ``jitter_fraction`` adds deterministic pseudo-random variation.
+    """
+
+    base_s: float = 0.050
+    per_item_s: float = 0.0005
+    jitter_fraction: float = 0.10
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0 or self.per_item_s < 0:
+            raise SourceError("latency components must be non-negative")
+        if not 0.0 <= self.jitter_fraction < 1.0:
+            raise SourceError("jitter fraction must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def sample(self, item_count: int) -> float:
+        """Latency of one round-trip returning *item_count* records."""
+        nominal = self.base_s + self.per_item_s * max(item_count, 0)
+        if self.jitter_fraction == 0.0:
+            return nominal
+        spread = nominal * self.jitter_fraction
+        return max(0.0, nominal + self._rng.uniform(-spread, spread))
+
+
+@dataclass
+class SourceStats:
+    """Traffic meter attached to every source."""
+
+    roundtrips: int = 0
+    records_returned: int = 0
+    keys_requested: int = 0
+    errors: int = 0
+    virtual_latency_s: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "roundtrips": self.roundtrips,
+            "records_returned": self.records_returned,
+            "keys_requested": self.keys_requested,
+            "errors": self.errors,
+            "virtual_latency_s": round(self.virtual_latency_s, 6),
+        }
+
+    def reset(self) -> None:
+        self.roundtrips = 0
+        self.records_returned = 0
+        self.keys_requested = 0
+        self.errors = 0
+        self.virtual_latency_s = 0.0
+
+
+@dataclass
+class FaultModel:
+    """Transient failures and rate limiting.
+
+    ``failure_rate`` is the probability that a round-trip raises
+    :class:`SourceUnavailableError` (after charging latency, like a real
+    timeout). ``max_calls_per_window`` bounds round-trips per
+    ``window_s`` of virtual time; excess calls raise
+    :class:`RateLimitError` without charging latency.
+    """
+
+    failure_rate: float = 0.0
+    max_calls_per_window: int | None = None
+    window_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate < 1.0:
+            raise SourceError("failure rate must be in [0, 1)")
+        if (self.max_calls_per_window is not None
+                and self.max_calls_per_window < 1):
+            raise SourceError("rate limit must allow at least one call")
+        if self.window_s <= 0:
+            raise SourceError("rate-limit window must be positive")
+        self._rng = random.Random(self.seed)
+
+    def draw_failure(self) -> bool:
+        return self.failure_rate > 0 and self._rng.random() < self.failure_rate
+
+
+class DataSource(ABC):
+    """Base class for simulated remote sources."""
+
+    def __init__(self, name: str, clock: SimulatedClock,
+                 latency: LatencyModel | None = None,
+                 faults: FaultModel | None = None,
+                 page_size: int = 100) -> None:
+        if page_size < 1:
+            raise SourceError("page size must be positive")
+        self.name = name
+        self.clock = clock
+        self.latency = latency or LatencyModel()
+        self.faults = faults or FaultModel()
+        self.page_size = page_size
+        self.stats = SourceStats()
+        self._window_start = clock.now()
+        self._window_calls = 0
+
+    # -- protocol -------------------------------------------------------
+
+    @abstractmethod
+    def kinds(self) -> frozenset[str]:
+        """Record kinds this source serves."""
+
+    @abstractmethod
+    def _lookup(self, kind: str, keys: Sequence[str]) -> dict[str, object]:
+        """Backend lookup; no cost accounting (subclasses implement)."""
+
+    @abstractmethod
+    def _all_keys(self, kind: str) -> list[str]:
+        """All keys of *kind*; no cost accounting."""
+
+    def fetch_many(self, kind: str,
+                   keys: Iterable[str]) -> dict[str, object]:
+        """Fetch several records in a single charged round-trip.
+
+        Missing keys are silently absent from the result, as a REST
+        batch endpoint would behave. Requests larger than the page size
+        are charged one round-trip per page.
+        """
+        self._check_kind(kind)
+        key_list = list(keys)
+        found: dict[str, object] = {}
+        for start in range(0, max(len(key_list), 1), self.page_size):
+            page = key_list[start:start + self.page_size]
+            records = self._lookup(kind, page)
+            self._charge(len(records), len(page))
+            found.update(records)
+        return found
+
+    def fetch(self, kind: str, key: str) -> object | None:
+        """Fetch one record (one full round-trip — the naive pattern)."""
+        return self.fetch_many(kind, [key]).get(key)
+
+    def scan_keys(self, kind: str) -> list[str]:
+        """List every key of *kind*, charged one round-trip per page."""
+        self._check_kind(kind)
+        all_keys = self._all_keys(kind)
+        for start in range(0, max(len(all_keys), 1), self.page_size):
+            page = all_keys[start:start + self.page_size]
+            self._charge(len(page), len(page))
+        return all_keys
+
+    # -- cost accounting --------------------------------------------------
+
+    def _check_kind(self, kind: str) -> None:
+        if kind not in self.kinds():
+            raise SourceError(
+                f"source {self.name!r} does not serve kind {kind!r}"
+            )
+
+    def _charge(self, records: int, requested: int) -> None:
+        self._enforce_rate_limit()
+        cost = self.latency.sample(records)
+        self.clock.advance(cost)
+        self.stats.roundtrips += 1
+        self.stats.records_returned += records
+        self.stats.keys_requested += requested
+        self.stats.virtual_latency_s += cost
+        if self.faults.draw_failure():
+            self.stats.errors += 1
+            raise SourceUnavailableError(
+                f"source {self.name!r} timed out (simulated)"
+            )
+
+    def _enforce_rate_limit(self) -> None:
+        limit = self.faults.max_calls_per_window
+        if limit is None:
+            return
+        now = self.clock.now()
+        if now - self._window_start >= self.faults.window_s:
+            self._window_start = now
+            self._window_calls = 0
+        if self._window_calls >= limit:
+            self.stats.errors += 1
+            raise RateLimitError(
+                f"source {self.name!r} rate limit of {limit} calls per "
+                f"{self.faults.window_s}s exceeded"
+            )
+        self._window_calls += 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class TableBackedSource(DataSource):
+    """A source whose kinds are in-memory dictionaries.
+
+    The concrete protein/activity/annotation sources all store their data
+    this way; they differ only in how the tables are populated and which
+    typed helpers they expose.
+    """
+
+    def __init__(self, name: str, clock: SimulatedClock,
+                 tables: dict[str, dict[str, object]],
+                 latency: LatencyModel | None = None,
+                 faults: FaultModel | None = None,
+                 page_size: int = 100) -> None:
+        super().__init__(name, clock, latency, faults, page_size)
+        self._tables = tables
+
+    def kinds(self) -> frozenset[str]:
+        return frozenset(self._tables)
+
+    def _lookup(self, kind: str, keys: Sequence[str]) -> dict[str, object]:
+        table = self._tables[kind]
+        return {key: table[key] for key in keys if key in table}
+
+    def _all_keys(self, kind: str) -> list[str]:
+        return sorted(self._tables[kind])
+
+    def record_count(self, kind: str) -> int:
+        """Backend record count (free: used by test assertions only)."""
+        self._check_kind(kind)
+        return len(self._tables[kind])

@@ -1,0 +1,57 @@
+"""Simulated (virtual) time.
+
+Every latency in the federation layer — remote round-trips, rate-limit
+windows, cache TTLs, network transfer times — is charged against a
+:class:`SimulatedClock` rather than the wall clock. That keeps the
+experiments deterministic and lets a benchmark "spend" minutes of remote
+latency in microseconds of real time, while still measuring real CPU cost
+separately (pytest-benchmark times the wall clock).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SourceError
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock, in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SourceError("clock cannot start before time zero")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock; returns the new time."""
+        if seconds < 0:
+            raise SourceError(f"cannot advance clock by {seconds}s")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Alias of :meth:`advance`, matching the blocking-call idiom."""
+        self.advance(seconds)
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.6f}s)"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time across a block of work."""
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self._clock = clock
+        self._start: float | None = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = self._clock.now()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self.elapsed = self._clock.now() - self._start

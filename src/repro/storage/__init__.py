@@ -1,0 +1,44 @@
+"""Embedded storage layer: tables, indexes, statistics, matviews.
+
+The integrator lands federated records in these tables; the query
+optimizer plans against their indexes and statistics.
+"""
+
+from repro.storage.index import HashIndex, Index, SortedIndex
+from repro.storage.matview import AGGREGATES, MaterializedAggregate
+from repro.storage.schema import (
+    Column,
+    ColumnType,
+    Schema,
+    bool_column,
+    float_column,
+    int_column,
+    string_column,
+)
+from repro.storage.statistics import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    analyze,
+)
+from repro.storage.table import Table
+
+__all__ = [
+    "AGGREGATES",
+    "Column",
+    "ColumnStatistics",
+    "ColumnType",
+    "HashIndex",
+    "Histogram",
+    "Index",
+    "MaterializedAggregate",
+    "Schema",
+    "SortedIndex",
+    "Table",
+    "TableStatistics",
+    "analyze",
+    "bool_column",
+    "float_column",
+    "int_column",
+    "string_column",
+]

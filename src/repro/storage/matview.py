@@ -1,0 +1,175 @@
+"""Incrementally maintained materialized aggregate views.
+
+One of the paper's "novel mechanisms": per-clade ligand statistics are
+kept as a materialized group-by view so clade-aggregate queries read one
+row instead of re-aggregating the overlay. The view subscribes to its
+base table and folds every insert/delete into the group states; MIN/MAX
+deletes that hit the current extremum trigger a per-group recompute.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.table import Table
+
+#: Supported aggregate functions.
+AGGREGATES = ("count", "sum", "mean", "min", "max")
+
+
+@dataclass
+class _GroupState:
+    count: int = 0
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+    min_max_dirty: bool = False
+
+
+class MaterializedAggregate:
+    """A ``SELECT key, AGG(value) ... GROUP BY key`` view.
+
+    Parameters
+    ----------
+    table:
+        Base table to aggregate over.
+    key_column:
+        Grouping column.
+    value_column:
+        Column the numeric aggregates apply to; rows with NULL there
+        still count toward ``count``.
+    predicate:
+        Optional row filter (applied to the row dict) restricting which
+        base rows enter the view.
+    """
+
+    def __init__(self, table: Table, key_column: str, value_column: str,
+                 predicate: Callable[[dict[str, Any]], bool] | None = None,
+                 ) -> None:
+        self.table = table
+        self.key_column = key_column
+        self.value_column = value_column
+        self.predicate = predicate
+        self._key_pos = table.schema.index_of(key_column)
+        self._value_pos = table.schema.index_of(value_column)
+        self._groups: dict[Any, _GroupState] = {}
+        self.maintenance_ops = 0
+        self.recomputes = 0
+        self.refresh()
+        table.add_insert_listener(self._on_insert)
+        table.add_delete_listener(self._on_delete)
+
+    # -- reads -------------------------------------------------------------
+
+    def groups(self) -> list[Any]:
+        return sorted(self._groups, key=str)
+
+    def get(self, key: Any, aggregate: str) -> float | None:
+        """Read one aggregate for one group; None for empty groups."""
+        if aggregate not in AGGREGATES:
+            raise StorageError(
+                f"unknown aggregate {aggregate!r} (known: {AGGREGATES})"
+            )
+        state = self._groups.get(key)
+        if state is None or state.count == 0:
+            return None
+        if aggregate == "count":
+            return float(state.count)
+        if state.min_max_dirty:
+            self._recompute_group(key)
+            state = self._groups.get(key)
+            if state is None:
+                return None
+        if aggregate == "sum":
+            return state.total
+        if aggregate == "mean":
+            return state.total / state.count if state.count else None
+        if aggregate == "min":
+            return state.minimum
+        return state.maximum
+
+    def snapshot(self, aggregate: str) -> dict[Any, float]:
+        """All groups' values for one aggregate."""
+        return {
+            key: value
+            for key in self.groups()
+            if (value := self.get(key, aggregate)) is not None
+        }
+
+    # -- maintenance ---------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Full recompute from the base table."""
+        self._groups = {}
+        for _, row in self.table.scan():
+            self._apply_insert(row)
+        self.recomputes += 1
+
+    def _row_passes(self, row: tuple[Any, ...]) -> bool:
+        if self.predicate is None:
+            return True
+        return self.predicate(self.table.schema.row_as_dict(row))
+
+    def _on_insert(self, row_id: int, row: tuple[Any, ...]) -> None:
+        if self._row_passes(row):
+            self._apply_insert(row)
+            self.maintenance_ops += 1
+
+    def _apply_insert(self, row: tuple[Any, ...]) -> None:
+        key = row[self._key_pos]
+        value = row[self._value_pos]
+        state = self._groups.setdefault(key, _GroupState())
+        state.count += 1
+        if value is None:
+            return
+        state.total += value
+        if state.minimum is None or value < state.minimum:
+            state.minimum = value
+        if state.maximum is None or value > state.maximum:
+            state.maximum = value
+
+    def _on_delete(self, row_id: int, row: tuple[Any, ...]) -> None:
+        if not self._row_passes(row):
+            return
+        self.maintenance_ops += 1
+        key = row[self._key_pos]
+        value = row[self._value_pos]
+        state = self._groups.get(key)
+        if state is None or state.count == 0:
+            raise StorageError(
+                f"materialized view out of sync for group {key!r}"
+            )
+        state.count -= 1
+        if state.count == 0:
+            del self._groups[key]
+            return
+        if value is None:
+            return
+        state.total -= value
+        # A delete at the extremum invalidates MIN/MAX until recomputed.
+        if value == state.minimum or value == state.maximum:
+            state.min_max_dirty = True
+
+    def _recompute_group(self, key: Any) -> None:
+        """Rebuild one group's state by scanning its base rows."""
+        self.recomputes += 1
+        fresh = _GroupState()
+        for _, row in self.table.scan():
+            if row[self._key_pos] != key or not self._row_passes(row):
+                continue
+            value = row[self._value_pos]
+            fresh.count += 1
+            if value is None:
+                continue
+            fresh.total += value
+            if fresh.minimum is None or value < fresh.minimum:
+                fresh.minimum = value
+            if fresh.maximum is None or value > fresh.maximum:
+                fresh.maximum = value
+        if fresh.count == 0:
+            self._groups.pop(key, None)
+        else:
+            self._groups[key] = fresh

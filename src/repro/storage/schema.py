@@ -1,0 +1,152 @@
+"""Typed table schemas for the embedded store.
+
+The integrator lands federated records in local tables; a
+:class:`Schema` gives every table a fixed, typed column layout so the
+query layer can plan against column positions instead of dict lookups.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+
+    def accepts(self, value: Any) -> bool:
+        if value is None:
+            return True  # nullability checked separately
+        if self is ColumnType.STRING:
+            return isinstance(value, str)
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return (isinstance(value, float)
+                    or (isinstance(value, int)
+                        and not isinstance(value, bool)))
+        return isinstance(value, bool)
+
+    def coerce(self, value: Any) -> Any:
+        """Normalise accepted values (ints become floats in FLOAT cols)."""
+        if value is None:
+            return None
+        if self is ColumnType.FLOAT and isinstance(value, int):
+            return float(value)
+        return value
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a schema."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"bad column name {self.name!r}")
+
+
+class Schema:
+    """An ordered, named set of typed columns."""
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise SchemaError("schema needs at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names")
+        self.columns = tuple(columns)
+        self._index = {column.name: i for i, column in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of the named column; raises SchemaError if unknown."""
+        try:
+            return self._index[name]
+        except KeyError:
+            known = ", ".join(self.column_names)
+            raise SchemaError(
+                f"unknown column {name!r} (columns: {known})"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def validate_row(self, values: dict[str, Any]) -> tuple[Any, ...]:
+        """Check *values* against the schema, returning an ordered tuple.
+
+        Unknown keys, missing non-nullable columns, and type mismatches
+        all raise :class:`~repro.errors.SchemaError`.
+        """
+        unknown = set(values) - set(self._index)
+        if unknown:
+            raise SchemaError(f"unknown columns {sorted(unknown)}")
+        row: list[Any] = []
+        for column in self.columns:
+            value = values.get(column.name)
+            if value is None:
+                if not column.nullable:
+                    raise SchemaError(
+                        f"column {column.name!r} is not nullable"
+                    )
+                row.append(None)
+                continue
+            if not column.type.accepts(value):
+                raise SchemaError(
+                    f"column {column.name!r} expects {column.type.value}, "
+                    f"got {type(value).__name__} ({value!r})"
+                )
+            row.append(column.type.coerce(value))
+        return tuple(row)
+
+    def row_as_dict(self, row: tuple[Any, ...]) -> dict[str, Any]:
+        return dict(zip(self.column_names, row))
+
+    def project(self, names: list[str]) -> "Schema":
+        """A new schema keeping only *names*, in the given order."""
+        return Schema([self.column(name) for name in names])
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{column.name}:{column.type.value}" for column in self.columns
+        )
+        return f"Schema({cols})"
+
+
+def string_column(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.STRING, nullable)
+
+
+def int_column(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.INT, nullable)
+
+
+def float_column(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.FLOAT, nullable)
+
+
+def bool_column(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.BOOL, nullable)

@@ -1,0 +1,162 @@
+"""Row-store tables with index maintenance and change listeners.
+
+Tables hold tuples in schema order under integer row ids. Secondary
+indexes and materialized views register as listeners and are maintained
+synchronously on every insert/delete — the behaviour the ablation
+experiment (E2) toggles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.index import HashIndex, Index, SortedIndex
+from repro.storage.schema import Schema
+
+#: Change listeners receive (row_id, row_tuple).
+ChangeListener = Callable[[int, tuple[Any, ...]], None]
+
+
+class Table:
+    """An in-memory row store with typed schema and secondary indexes."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        if not name:
+            raise StorageError("table needs a name")
+        self.name = name
+        self.schema = schema
+        self._rows: dict[int, tuple[Any, ...]] = {}
+        self._next_row_id = 0
+        self._indexes: dict[str, Index] = {}
+        self._on_insert: list[ChangeListener] = []
+        self._on_delete: list[ChangeListener] = []
+
+    # -- rows -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def insert(self, values: dict[str, Any]) -> int:
+        """Validate and insert one row; returns its row id."""
+        row = self.schema.validate_row(values)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        for index in self._indexes.values():
+            index.insert(self._key_for(index, row), row_id)
+        for listener in self._on_insert:
+            listener(row_id, row)
+        return row_id
+
+    def insert_many(self, rows: list[dict[str, Any]]) -> list[int]:
+        return [self.insert(values) for values in rows]
+
+    def delete(self, row_id: int) -> None:
+        row = self._rows.pop(row_id, None)
+        if row is None:
+            raise StorageError(
+                f"table {self.name!r}: no row {row_id}"
+            )
+        for index in self._indexes.values():
+            index.delete(self._key_for(index, row), row_id)
+        for listener in self._on_delete:
+            listener(row_id, row)
+
+    def get(self, row_id: int) -> tuple[Any, ...]:
+        try:
+            return self._rows[row_id]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r}: no row {row_id}"
+            ) from None
+
+    def get_dict(self, row_id: int) -> dict[str, Any]:
+        return self.schema.row_as_dict(self.get(row_id))
+
+    def scan(self) -> Iterator[tuple[int, tuple[Any, ...]]]:
+        """All (row_id, row) pairs in insertion order."""
+        yield from self._rows.items()
+
+    def scan_rows(self) -> Iterator[tuple[Any, ...]]:
+        yield from self._rows.values()
+
+    def value(self, row: tuple[Any, ...], column: str) -> Any:
+        return row[self.schema.index_of(column)]
+
+    # -- indexes -----------------------------------------------------------
+
+    def create_index(self, column_names: list[str],
+                     kind: str = "hash",
+                     name: str = "") -> Index:
+        """Create and backfill a secondary index.
+
+        *kind* is ``"hash"`` (equality, any number of columns) or
+        ``"sorted"`` (single column, supports ranges).
+        """
+        for column in column_names:
+            self.schema.index_of(column)  # validates existence
+        index_name = name or f"{self.name}_{'_'.join(column_names)}_{kind}"
+        if index_name in self._indexes:
+            raise StorageError(f"index {index_name!r} already exists")
+        if kind == "hash":
+            index: Index = HashIndex(index_name, tuple(column_names))
+        elif kind == "sorted":
+            if len(column_names) != 1:
+                raise StorageError("sorted indexes take exactly one column")
+            index = SortedIndex(index_name, tuple(column_names))
+        else:
+            raise StorageError(f"unknown index kind {kind!r}")
+        for row_id, row in self._rows.items():
+            index.insert(self._key_for(index, row), row_id)
+        self._indexes[index_name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise StorageError(f"no index {name!r} on table {self.name!r}")
+        del self._indexes[name]
+
+    def indexes(self) -> dict[str, Index]:
+        return dict(self._indexes)
+
+    def index_on(self, column: str,
+                 require_range: bool = False) -> Index | None:
+        """Best index whose leading column is *column* (or None)."""
+        best: Index | None = None
+        for index in self._indexes.values():
+            if index.column_names[0] != column:
+                continue
+            if require_range and not index.supports_range:
+                continue
+            if len(index.column_names) != 1:
+                continue
+            if best is None or (index.supports_range
+                                and not best.supports_range):
+                best = index
+        return best
+
+    def _key_for(self, index: Index, row: tuple[Any, ...]) -> Any:
+        positions = [self.schema.index_of(c) for c in index.column_names]
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_insert_listener(self, listener: ChangeListener) -> None:
+        self._on_insert.append(listener)
+
+    def add_delete_listener(self, listener: ChangeListener) -> None:
+        self._on_delete.append(listener)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={len(self._rows)}, "
+            f"indexes={sorted(self._indexes)})"
+        )

@@ -1,0 +1,57 @@
+"""Synthetic datasets, query workloads, and the experiment harness."""
+
+from repro.workloads.datasets import (
+    Dataset,
+    DatasetConfig,
+    build_dataset,
+    generate_bindings,
+)
+from repro.workloads.export import (
+    export_dataset,
+    load_bindings_csv,
+    load_smiles_file,
+)
+from repro.workloads.families import (
+    FAMILY_POOL,
+    ORGANISM_POOL,
+    ProteinFamily,
+    make_family,
+    name_internal_clades,
+)
+from repro.workloads.harness import (
+    Measurement,
+    TextTable,
+    mean,
+    percentile,
+    speedup,
+    time_wall,
+)
+from repro.workloads.queries import (
+    DEFAULT_MIX,
+    QueryGenerator,
+    WorkloadConfig,
+)
+
+__all__ = [
+    "DEFAULT_MIX",
+    "FAMILY_POOL",
+    "ORGANISM_POOL",
+    "Dataset",
+    "DatasetConfig",
+    "Measurement",
+    "ProteinFamily",
+    "QueryGenerator",
+    "TextTable",
+    "WorkloadConfig",
+    "build_dataset",
+    "export_dataset",
+    "load_bindings_csv",
+    "load_smiles_file",
+    "generate_bindings",
+    "make_family",
+    "mean",
+    "name_internal_clades",
+    "percentile",
+    "speedup",
+    "time_wall",
+]

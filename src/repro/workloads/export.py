@@ -1,0 +1,132 @@
+"""Dataset export in standard bioinformatics interchange formats.
+
+A downstream user should be able to take a synthetic world out of this
+library and into their own tools: sequences as FASTA, the tree as
+Newick, compounds as a SMILES file, bindings and protein metadata as
+CSV. The CSV reader round-trips bindings so exported worlds can be
+re-ingested.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.bio.seq import write_fasta
+from repro.chem.affinity import ActivityType, BindingRecord
+from repro.errors import WorkloadError
+from repro.workloads.datasets import Dataset
+
+#: Column order of bindings.csv.
+BINDING_COLUMNS = (
+    "ligand_id", "protein_id", "activity_type", "value_nm",
+    "p_affinity", "assay_id", "source",
+)
+
+#: Column order of proteins.csv.
+PROTEIN_COLUMNS = ("protein_id", "organism", "family")
+
+
+def export_dataset(dataset: Dataset,
+                   directory: str | Path) -> dict[str, Path]:
+    """Write the dataset's standard-format files into *directory*.
+
+    Returns a mapping from artefact name to the written path:
+    ``sequences`` (FASTA), ``tree`` (Newick), ``ligands`` (SMILES),
+    ``bindings`` and ``proteins`` (CSV).
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+
+    paths["sequences"] = target / "sequences.fasta"
+    paths["sequences"].write_text(
+        write_fasta(dataset.family.sequences), "utf-8",
+    )
+
+    paths["tree"] = target / "tree.nwk"
+    paths["tree"].write_text(dataset.tree.to_newick() + "\n", "utf-8")
+
+    paths["ligands"] = target / "ligands.smi"
+    lines = [
+        f"{ligand.smiles}\t{ligand.ligand_id}"
+        for ligand in dataset.ligands
+    ]
+    paths["ligands"].write_text("\n".join(lines) + "\n", "utf-8")
+
+    paths["bindings"] = target / "bindings.csv"
+    with paths["bindings"].open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(BINDING_COLUMNS)
+        for record in dataset.bindings:
+            writer.writerow([
+                record.ligand_id,
+                record.protein_id,
+                record.activity_type.value,
+                f"{record.value_nm:.6g}",
+                f"{record.p_affinity:.4f}",
+                record.assay_id,
+                record.source,
+            ])
+
+    paths["proteins"] = target / "proteins.csv"
+    with paths["proteins"].open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(PROTEIN_COLUMNS)
+        for protein_id in dataset.family.protein_ids:
+            writer.writerow([
+                protein_id,
+                dataset.family.organisms[protein_id],
+                dataset.family.families[protein_id],
+            ])
+    return paths
+
+
+def load_bindings_csv(path: str | Path) -> list[BindingRecord]:
+    """Read a ``bindings.csv`` written by :func:`export_dataset`."""
+    source = Path(path)
+    try:
+        text = source.read_text("utf-8")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read {source}: {exc}") from None
+    records: list[BindingRecord] = []
+    reader = csv.DictReader(text.splitlines())
+    missing = set(BINDING_COLUMNS[:4]) - set(reader.fieldnames or ())
+    if missing:
+        raise WorkloadError(
+            f"bindings CSV is missing columns {sorted(missing)}"
+        )
+    for line_number, row in enumerate(reader, start=2):
+        try:
+            records.append(BindingRecord(
+                ligand_id=row["ligand_id"],
+                protein_id=row["protein_id"],
+                activity_type=ActivityType(row["activity_type"]),
+                value_nm=float(row["value_nm"]),
+                assay_id=row.get("assay_id", ""),
+                source=row.get("source", ""),
+            ))
+        except (KeyError, ValueError) as exc:
+            raise WorkloadError(
+                f"bad bindings row at line {line_number}: {exc}"
+            ) from None
+    return records
+
+
+def load_smiles_file(path: str | Path) -> list[tuple[str, str]]:
+    """Read a ``.smi`` file as (smiles, name) pairs."""
+    source = Path(path)
+    try:
+        text = source.read_text("utf-8")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read {source}: {exc}") from None
+    pairs: list[tuple[str, str]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        parts = stripped.split(None, 1)
+        smiles = parts[0]
+        name = parts[1].strip() if len(parts) > 1 else f"mol_{line_number}"
+        pairs.append((smiles, name))
+    return pairs

@@ -1,0 +1,123 @@
+"""Experiment harness: measurement records and text tables.
+
+The benchmarks print their results through :class:`TextTable` so every
+experiment reports the same way the paper's evaluation would — aligned
+rows of parameters, latencies, and speedups — and ``EXPERIMENTS.md``
+can quote the output verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import WorkloadError
+
+
+class TextTable:
+    """A fixed-header, aligned, plain-text results table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        if not headers:
+            raise WorkloadError("table needs headers")
+        self.title = title
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise WorkloadError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([_format_cell(value) for value in values])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(
+            header.ljust(widths[i])
+            for i, header in enumerate(self.headers)
+        ))
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(
+                cell.rjust(widths[i]) if _is_numeric(cell)
+                else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            ))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("x", "")
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False
+
+
+@dataclass
+class Measurement:
+    """One measured configuration within an experiment."""
+
+    label: str
+    wall_time_s: float = 0.0
+    virtual_latency_s: float = 0.0
+    roundtrips: int = 0
+    rows: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+def time_wall(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run *fn* once, returning (result, wall seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def speedup(baseline: float, optimized: float) -> str:
+    """Human-readable speedup factor, guarding division by ~zero."""
+    if optimized <= 0:
+        return "inf"
+    return f"{baseline / optimized:.1f}x"
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile (fraction in [0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise WorkloadError("percentile fraction must be in [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]

@@ -1,0 +1,122 @@
+"""Tests for consensus trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import (
+    majority_rule_consensus,
+    parse_newick,
+    strict_consensus,
+    support_values,
+)
+from repro.bio.simulate import birth_death_tree
+from repro.errors import TreeError
+
+
+def _trees():
+    return [
+        parse_newick("((a,b),(c,d),e);"),
+        parse_newick("((a,b),((c,d),e));"),
+        parse_newick("((a,c),(b,d),e);"),
+    ]
+
+
+class TestMajorityRule:
+    def test_majority_clades_present(self):
+        consensus = majority_rule_consensus(_trees())
+        clades = set(consensus.clades().values())
+        assert frozenset({"a", "b"}) in clades
+        assert frozenset({"c", "d"}) in clades
+
+    def test_minority_clades_absent(self):
+        consensus = majority_rule_consensus(_trees())
+        clades = set(consensus.clades().values())
+        assert frozenset({"c", "d", "e"}) not in clades  # only 1/3
+        assert frozenset({"a", "c"}) not in clades
+
+    def test_support_labels(self):
+        consensus = majority_rule_consensus(_trees())
+        support = support_values(consensus)
+        assert support[frozenset({"a", "b"})] == pytest.approx(0.67)
+
+    def test_all_taxa_kept(self):
+        consensus = majority_rule_consensus(_trees())
+        assert sorted(consensus.leaf_names()) == ["a", "b", "c", "d", "e"]
+
+    def test_identical_trees_give_input_topology(self):
+        tree = parse_newick("((a,b),((c,d),e));")
+        consensus = majority_rule_consensus([tree, tree.copy(),
+                                             tree.copy()])
+        assert consensus.robinson_foulds(tree) == 0
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(TreeError):
+            majority_rule_consensus([])
+
+    def test_mismatched_taxa_rejected(self):
+        trees = [parse_newick("((a,b),c);"), parse_newick("((a,b),d);")]
+        with pytest.raises(TreeError, match="same taxa"):
+            majority_rule_consensus(trees)
+
+    def test_threshold_validation(self):
+        with pytest.raises(TreeError):
+            majority_rule_consensus(_trees(), threshold=0.3)
+        with pytest.raises(TreeError):
+            majority_rule_consensus(_trees(), threshold=1.0)
+
+    def test_nested_majorities_nest_in_output(self):
+        trees = [
+            parse_newick("(((a,b),c),(d,e));"),
+            parse_newick("(((a,b),c),(d,e));"),
+            parse_newick("(((a,c),b),(d,e));"),
+        ]
+        consensus = majority_rule_consensus(trees)
+        clades = set(consensus.clades().values())
+        assert frozenset({"a", "b", "c"}) in clades  # 3/3
+        assert frozenset({"a", "b"}) in clades       # 2/3, nested inside
+
+
+class TestStrictConsensus:
+    def test_only_universal_clades(self):
+        strict = strict_consensus(_trees())
+        clades = {
+            clade for clade in strict.clades().values()
+            if 1 < len(clade) < 5
+        }
+        assert clades == set()  # no clade in all three trees
+
+    def test_agreeing_pair(self):
+        strict = strict_consensus(_trees()[:2])
+        clades = set(strict.clades().values())
+        assert frozenset({"a", "b"}) in clades
+        assert frozenset({"c", "d"}) in clades
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 12), st.integers(0, 500))
+    def test_property_self_consensus_is_identity(self, n, seed):
+        tree = birth_death_tree(n, seed=seed)
+        consensus = majority_rule_consensus([tree, tree.copy()])
+        assert consensus.robinson_foulds(tree) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 10), st.integers(0, 500))
+    def test_property_strict_subset_of_majority(self, n, seed):
+        trees = [birth_death_tree(n, seed=seed + i) for i in range(3)]
+        # Re-label leaves consistently so taxa match across trees.
+        for tree in trees[1:]:
+            for leaf, name in zip(tree.leaves(), trees[0].leaf_names()):
+                leaf.name = name
+        trees = [tree.copy() for tree in trees]  # revalidate names
+        strict_clades = {
+            clade for clade in strict_consensus(trees).clades().values()
+            if len(clade) > 1
+        }
+        majority_clades = {
+            clade for clade in
+            majority_rule_consensus(trees).clades().values()
+            if len(clade) > 1
+        }
+        assert strict_clades <= majority_clades

@@ -1,0 +1,144 @@
+"""Tests for tree simulation and sequence evolution."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import (
+    EvolutionModel,
+    birth_death_tree,
+    evolve_sequences,
+)
+from repro.bio import alphabet
+from repro.bio.simulate import random_root_sequence
+from repro.errors import TreeError
+
+
+class TestBirthDeathTree:
+    def test_exact_leaf_count(self):
+        for n in (2, 5, 17):
+            assert birth_death_tree(n, seed=0).leaf_count == n
+
+    def test_deterministic_with_seed(self):
+        t1 = birth_death_tree(10, seed=42)
+        t2 = birth_death_tree(10, seed=42)
+        assert t1.to_newick() == t2.to_newick()
+
+    def test_different_seeds_differ(self):
+        t1 = birth_death_tree(10, seed=1)
+        t2 = birth_death_tree(10, seed=2)
+        assert t1.to_newick() != t2.to_newick()
+
+    def test_binary_topology(self):
+        assert birth_death_tree(12, seed=0).is_binary()
+
+    def test_positive_branch_lengths(self):
+        tree = birth_death_tree(12, seed=0)
+        assert all(
+            node.branch_length > 0
+            for node in tree.preorder() if node.parent is not None
+        )
+
+    def test_with_extinction(self):
+        tree = birth_death_tree(10, birth_rate=1.0, death_rate=0.4, seed=7)
+        assert tree.leaf_count == 10
+        assert tree.is_binary()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TreeError):
+            birth_death_tree(1)
+        with pytest.raises(TreeError):
+            birth_death_tree(5, birth_rate=0.0)
+        with pytest.raises(TreeError):
+            birth_death_tree(5, birth_rate=1.0, death_rate=1.5)
+
+    def test_leaf_prefix(self):
+        tree = birth_death_tree(3, seed=0, leaf_prefix="dhfr")
+        assert all(name.startswith("dhfr_") for name in tree.leaf_names())
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 10_000))
+    def test_property_unique_leaf_names(self, n, seed):
+        tree = birth_death_tree(n, seed=seed)
+        names = tree.leaf_names()
+        assert len(names) == len(set(names)) == n
+
+
+class TestEvolution:
+    def test_zero_branch_keeps_sequence(self):
+        model = EvolutionModel()
+        rng = random.Random(0)
+        assert model.evolve("MKTAY", 0.0, rng) == "MKTAY"
+
+    def test_long_branch_randomises(self):
+        model = EvolutionModel(rate=5.0)
+        rng = random.Random(0)
+        out = model.evolve("A" * 200, 10.0, rng)
+        assert out != "A" * 200
+        assert len(out) == 200
+
+    def test_output_always_canonical(self):
+        model = EvolutionModel(rate=2.0)
+        rng = random.Random(1)
+        out = model.evolve("MKTAYIAKQR" * 5, 2.0, rng)
+        assert set(out) <= set(alphabet.AMINO_ACIDS)
+
+    def test_negative_branch_rejected(self):
+        with pytest.raises(TreeError):
+            EvolutionModel().evolve("MKT", -1.0, random.Random(0))
+
+    def test_transition_weights_exclude_self(self):
+        model = EvolutionModel()
+        weights = model.transition_weights("A")
+        assert weights[alphabet.AA_INDEX["A"]] == 0.0
+        assert all(w > 0 for i, w in enumerate(weights)
+                   if i != alphabet.AA_INDEX["A"])
+
+    def test_favoured_exchanges_more_likely(self):
+        """I→V (BLOSUM +3) should outweigh I→W (BLOSUM -3)."""
+        weights = EvolutionModel().transition_weights("I")
+        assert weights[alphabet.AA_INDEX["V"]] > weights[alphabet.AA_INDEX["W"]]
+
+
+class TestEvolveSequences:
+    def test_one_sequence_per_leaf(self):
+        tree = birth_death_tree(8, seed=0)
+        seqs = evolve_sequences(tree, length=40, seed=1)
+        assert [s.seq_id for s in seqs] == tree.leaf_names()
+        assert all(len(s) == 40 for s in seqs)
+
+    def test_deterministic(self):
+        tree = birth_death_tree(6, seed=0)
+        a = evolve_sequences(tree, length=30, seed=5)
+        b = evolve_sequences(tree, length=30, seed=5)
+        assert a == b
+
+    def test_close_relatives_more_similar(self):
+        """Sequence identity should decrease with tree distance."""
+        tree = birth_death_tree(10, seed=2)
+        # Scale to moderate divergence so identity is informative.
+        seqs = {s.seq_id: s for s in evolve_sequences(tree, length=200,
+                                                      seed=3)}
+        names = tree.leaf_names()
+        pairs = [
+            (a, b) for i, a in enumerate(names) for b in names[i + 1:]
+        ]
+        closest = min(pairs, key=lambda p: tree.distance(*p))
+        farthest = max(pairs, key=lambda p: tree.distance(*p))
+        id_close = seqs[closest[0]].identity(seqs[closest[1]])
+        id_far = seqs[farthest[0]].identity(seqs[farthest[1]])
+        assert id_close >= id_far
+
+    def test_explicit_root_sequence(self):
+        tree = birth_death_tree(4, seed=0)
+        root = "MKTAYIAKQR" * 3
+        seqs = evolve_sequences(tree, root_sequence=root, seed=1)
+        assert all(len(s) == len(root) for s in seqs)
+
+    def test_random_root_sequence_length(self):
+        rng = random.Random(0)
+        assert len(random_root_sequence(55, rng)) == 55
+        with pytest.raises(TreeError):
+            random_root_sequence(0, rng)

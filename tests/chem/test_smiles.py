@@ -1,0 +1,182 @@
+"""Tests for the mini SMILES parser and writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem import parse_smiles, write_smiles
+from repro.chem.generator import SCAFFOLDS, LINKERS, TERMINALS, Recipe
+from repro.errors import ChemError
+
+
+class TestParserBasics:
+    def test_single_atom(self):
+        mol = parse_smiles("C")
+        assert len(mol) == 1
+        assert mol.formula == "CH4"
+
+    def test_chain(self):
+        mol = parse_smiles("CCO")
+        assert len(mol.bonds) == 2
+        assert mol.formula == "C2H6O"
+
+    def test_two_char_elements(self):
+        assert parse_smiles("CCl").formula == "CH3Cl"
+        assert parse_smiles("CBr").formula == "CH3Br"
+
+    def test_double_and_triple_bonds(self):
+        assert parse_smiles("C=C").formula == "C2H4"
+        assert parse_smiles("C#C").formula == "C2H2"
+        assert parse_smiles("C#N").formula == "CHN"
+
+    def test_branches(self):
+        isobutane = parse_smiles("CC(C)C")
+        assert isobutane.formula == "C4H10"
+        center = next(a.index for a in isobutane.atoms
+                      if isobutane.degree(a.index) == 3)
+        assert isobutane.implicit_hydrogens(center) == 1
+
+    def test_nested_branches(self):
+        mol = parse_smiles("CC(C(C)C)C")
+        assert mol.formula == "C6H14"
+
+    def test_ring_closure(self):
+        cyclohexane = parse_smiles("C1CCCCC1")
+        assert len(cyclohexane.rings()) == 1
+        assert cyclohexane.formula == "C6H12"
+
+    def test_percent_ring_closure(self):
+        mol = parse_smiles("C%10CCCCC%10")
+        assert len(mol.rings()) == 1
+
+    def test_aromatic_ring(self):
+        benzene = parse_smiles("c1ccccc1")
+        assert benzene.formula == "C6H6"
+        assert all(atom.aromatic for atom in benzene.atoms)
+        assert all(bond.aromatic for bond in benzene.bonds)
+
+    def test_double_bond_ring_closure(self):
+        cyclohexene = parse_smiles("C1=CCCCC1")
+        assert cyclohexene.formula == "C6H10"
+
+    def test_disconnected_components(self):
+        salt = parse_smiles("[NH4+].[Cl-]")
+        assert not salt.is_connected()
+        assert salt.formula == "H4ClN"
+
+
+class TestBracketAtoms:
+    def test_charges(self):
+        assert parse_smiles("[NH4+]").atoms[0].charge == 1
+        assert parse_smiles("[O-]").atoms[0].charge == -1
+        assert parse_smiles("[N+2]").atoms[0].charge == 2
+        assert parse_smiles("[O--]").atoms[0].charge == -2
+
+    def test_explicit_hydrogens(self):
+        pyrrole_n = parse_smiles("[nH]1cccc1").atoms[0]
+        assert pyrrole_n.explicit_hydrogens == 1
+        assert pyrrole_n.aromatic
+
+    def test_bracket_without_h_means_zero(self):
+        mol = parse_smiles("[N](C)(C)C")
+        assert mol.implicit_hydrogens(0) == 0
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(ChemError, match="unterminated"):
+            parse_smiles("[NH4")
+
+    def test_empty_bracket(self):
+        with pytest.raises(ChemError):
+            parse_smiles("[]")
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "(", ")", "(C)C)", "C(", "1CC1", "C1CC", "C=",
+        "Zz", "C..C", ".C", "C=.C", "C%1CC",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ChemError):
+            parse_smiles(bad)
+
+    def test_valence_violation(self):
+        with pytest.raises(ChemError, match="valence"):
+            parse_smiles("C(C)(C)(C)(C)C")
+
+    def test_error_includes_input(self):
+        with pytest.raises(ChemError, match="C=$|bad SMILES"):
+            parse_smiles("C=")
+
+
+class TestWriter:
+    DRUGS = [
+        "CC(=O)Oc1ccccc1C(=O)O",          # aspirin
+        "Cn1cnc2c1c(=O)n(C)c(=O)n2C",     # caffeine
+        "CC(C)Cc1ccc(cc1)C(C)C(=O)O",     # ibuprofen
+        "c1ccc2c(c1)cccc2",               # naphthalene
+        "C1=CCCCC1",                      # cyclohexene
+        "c1cc[nH]c1",                     # pyrrole
+        "CS(=O)(=O)c1ccccc1",             # sulfone
+        "OP(=O)(O)OC",                    # phosphate ester
+        "[NH4+].[Cl-]",                   # salt
+    ]
+
+    @pytest.mark.parametrize("smiles", DRUGS)
+    def test_roundtrip_preserves_structure(self, smiles):
+        original = parse_smiles(smiles)
+        rewritten = parse_smiles(write_smiles(original))
+        assert rewritten.formula == original.formula
+        assert len(rewritten.rings()) == len(original.rings())
+        assert rewritten.molecular_weight == pytest.approx(
+            original.molecular_weight
+        )
+        assert len(rewritten.bonds) == len(original.bonds)
+
+    def test_writer_rejects_empty(self):
+        from repro.chem.mol import Molecule
+        with pytest.raises(ChemError):
+            write_smiles(Molecule())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_property_writer_preserves_graph_invariants(seed):
+    """write_smiles -> parse_smiles preserves every graph invariant we
+    compute downstream: formula, rings, descriptors, and — because the
+    fingerprint is a pure graph function — the exact fingerprint."""
+    from repro.chem import (
+        circular_fingerprint,
+        compute_descriptors,
+        generate_ligand,
+    )
+    import random as _random
+
+    ligand = generate_ligand("L", _random.Random(seed))
+    rewritten = parse_smiles(write_smiles(ligand.molecule))
+    assert rewritten.formula == ligand.molecule.formula
+    assert len(rewritten.rings()) == len(ligand.molecule.rings())
+    assert compute_descriptors(rewritten) == ligand.descriptors
+    assert circular_fingerprint(rewritten) == ligand.fingerprint
+
+
+# Every grammar combination the generator can emit must parse; drive the
+# whole recipe space through hypothesis.
+@settings(max_examples=150, deadline=None)
+@given(
+    scaffold=st.integers(0, len(SCAFFOLDS) - 1),
+    subs=st.lists(
+        st.tuples(st.integers(0, len(LINKERS) - 1),
+                  st.integers(0, len(TERMINALS) - 1)),
+        min_size=2, max_size=2,
+    ),
+)
+def test_property_generator_grammar_parses_or_fails_cleanly(scaffold, subs):
+    slots = SCAFFOLDS[scaffold].count("{")
+    recipe = Recipe(scaffold, tuple(subs[:slots]))
+    try:
+        mol = parse_smiles(recipe.render())
+    except ChemError:
+        return  # a chemically invalid assembly is acceptable; crashes are not
+    assert mol.heavy_atom_count >= 4
+    rewritten = parse_smiles(write_smiles(mol))
+    assert rewritten.formula == mol.formula

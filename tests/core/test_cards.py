@@ -1,0 +1,96 @@
+"""Tests for the cardinality estimator."""
+
+import pytest
+
+from repro.core.query.ast import Comparison
+from repro.core.query.cards import CardinalityEstimator
+from repro.storage import (
+    Schema,
+    Table,
+    analyze,
+    float_column,
+    string_column,
+)
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    schema = Schema([
+        string_column("organism"),
+        float_column("p_affinity"),
+    ])
+    table = Table("bindings", schema)
+    for i in range(400):
+        table.insert({
+            "organism": f"org_{i % 8}",
+            "p_affinity": 4.0 + (i % 100) / 20.0,  # uniform 4.0..8.95
+        })
+    return CardinalityEstimator({"bindings": analyze(table)})
+
+
+class TestTableRows:
+    def test_known_table(self, estimator):
+        assert estimator.table_rows("bindings") == 400.0
+
+    def test_unknown_table_defaults(self, estimator):
+        assert estimator.table_rows("ghost") == 1000.0
+
+
+class TestSelectivity:
+    def test_equality_on_uniform_column(self, estimator):
+        sel = estimator.predicate_selectivity(
+            "bindings", Comparison("organism", "=", "org_3"),
+        )
+        assert sel == pytest.approx(1 / 8, rel=0.2)
+
+    def test_inequality_complements(self, estimator):
+        eq = estimator.predicate_selectivity(
+            "bindings", Comparison("organism", "=", "org_3"),
+        )
+        ne = estimator.predicate_selectivity(
+            "bindings", Comparison("organism", "!=", "org_3"),
+        )
+        assert eq + ne == pytest.approx(1.0)
+
+    def test_in_sums_members(self, estimator):
+        sel = estimator.predicate_selectivity(
+            "bindings", Comparison("organism", "in",
+                                   ("org_1", "org_2", "org_3")),
+        )
+        assert sel == pytest.approx(3 / 8, rel=0.2)
+
+    def test_range_on_uniform_column(self, estimator):
+        sel = estimator.predicate_selectivity(
+            "bindings", Comparison("p_affinity", ">=", 6.5),
+        )
+        # Values uniform on [4.0, 8.95): above 6.5 is ~half.
+        assert sel == pytest.approx(0.5, abs=0.1)
+
+    def test_band_multiplies_down(self, estimator):
+        rows = estimator.scan_rows("bindings", (
+            Comparison("p_affinity", ">=", 5.0),
+            Comparison("p_affinity", "<", 6.0),
+        ))
+        assert rows == pytest.approx(400 * 0.2, rel=0.3)
+
+    def test_unknown_column_uses_default(self, estimator):
+        sel = estimator.predicate_selectivity(
+            "ghost", Comparison("p_affinity", ">=", 5.0),
+        )
+        assert sel == 0.33
+
+    def test_scan_rows_floor(self, estimator):
+        rows = estimator.scan_rows("bindings", (
+            Comparison("organism", "=", "never_seen"),
+        ) * 4)
+        assert rows >= 0.5
+
+
+class TestJoinEstimates:
+    def test_join_divides_by_max_ndv(self, estimator):
+        rows = estimator.join_rows(400.0, 8.0, "bindings", "bindings",
+                                   "organism")
+        assert rows == pytest.approx(400 * 8 / 8)
+
+    def test_join_floor(self, estimator):
+        assert estimator.join_rows(0.0, 0.0, "a", "b", "k") >= 0.5

@@ -1,0 +1,82 @@
+"""Engine behaviour on empty and near-empty overlays."""
+
+import pytest
+
+from repro.bio import parse_newick
+from repro.chem import ActivityType, BindingRecord
+from repro.core import DrugTree, EngineConfig, QueryEngine
+
+
+@pytest.fixture
+def empty_drugtree():
+    tree = parse_newick("((a:1,b:1)ab:1,(c:1,d:1)cd:1)root;")
+    drugtree = DrugTree(tree)
+    drugtree.create_default_indexes()
+    return drugtree
+
+
+class TestEmptyOverlay:
+    def test_scan_empty_tables(self, empty_drugtree):
+        engine = QueryEngine(empty_drugtree)
+        assert engine.execute("SELECT * FROM bindings").rows == []
+        assert engine.execute("SELECT * FROM ligands").rows == []
+
+    def test_scalar_aggregate_over_nothing(self, empty_drugtree):
+        engine = QueryEngine(empty_drugtree)
+        result = engine.execute(
+            "SELECT count(*), max(p_affinity) FROM bindings"
+        )
+        assert result.rows == [{"count_all": 0,
+                                "max_p_affinity": None}]
+
+    def test_clade_stats_all_zero(self, empty_drugtree):
+        stats = empty_drugtree.clade_stats("ab")
+        assert stats == {"count": 0.0, "mean": 0.0, "max": 0.0,
+                         "potent_fraction": 0.0}
+
+    def test_clade_fast_path_on_empty_clade(self, empty_drugtree):
+        engine = QueryEngine(empty_drugtree,
+                             EngineConfig(use_semantic_cache=False))
+        result = engine.execute(
+            "SELECT count(*), mean(p_affinity) IN SUBTREE 'ab'"
+        )
+        assert result.rows == [{"count_all": 0,
+                                "mean_p_affinity": None}]
+
+    def test_join_with_one_empty_side(self, empty_drugtree):
+        empty_drugtree.add_protein("a", organism="Homo sapiens")
+        engine = QueryEngine(empty_drugtree)
+        result = engine.execute(
+            "SELECT protein_id, organism, p_affinity "
+            "WHERE organism = 'Homo sapiens'"
+        )
+        assert result.rows == []  # no bindings to join against
+
+    def test_first_binding_flips_everything(self, empty_drugtree):
+        empty_drugtree.add_protein("a")
+        engine = QueryEngine(empty_drugtree)
+        before = engine.execute("SELECT count(*) FROM bindings").scalar()
+        empty_drugtree.add_binding(
+            BindingRecord("L1", "a", ActivityType.KI, 10.0)
+        )
+        after = engine.execute("SELECT count(*) FROM bindings")
+        assert before == 0
+        assert after.scalar() == 1
+        assert after.cache_outcome == "miss"  # mutation invalidated
+        assert empty_drugtree.clade_stats("root")["count"] == 1
+
+    def test_similarity_over_empty_library(self, empty_drugtree):
+        engine = QueryEngine(empty_drugtree)
+        result = engine.execute(
+            "SELECT ligand_id SIMILAR TO 'CCO' >= 0.5"
+        )
+        assert result.rows == []
+        assert result.similarity_candidates == 0
+
+    def test_topk_over_empty(self, empty_drugtree):
+        engine = QueryEngine(empty_drugtree)
+        result = engine.execute(
+            "SELECT ligand_id, p_affinity "
+            "ORDER BY p_affinity DESC LIMIT 5"
+        )
+        assert result.rows == []

@@ -1,0 +1,108 @@
+"""Tests for Euler-tour interval labeling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio import parse_newick
+from repro.bio.simulate import birth_death_tree, caterpillar_tree
+from repro.core.labeling import IntervalLabeling
+from repro.errors import TreeError
+from repro.workloads.families import name_internal_clades
+
+
+@pytest.fixture
+def labeled():
+    tree = parse_newick("((a:1,b:1)ab:1,((c:1,d:1)cd:1,e:1)cde:1)root;")
+    return IntervalLabeling(tree)
+
+
+class TestLabels:
+    def test_root_covers_everything(self, labeled):
+        root = labeled.label_of("root")
+        assert root.pre == 0
+        assert root.subtree_size == labeled.tree.node_count
+        assert root.leaf_count == 5
+
+    def test_leaf_positions_in_tree_order(self, labeled):
+        assert [labeled.leaf_position(n) for n in "abcde"] == [0, 1, 2, 3, 4]
+        assert labeled.leaf_name_at(2) == "c"
+
+    def test_leaf_range_of_internal_node(self, labeled):
+        assert labeled.leaf_range("cd") == (2, 4)
+        assert labeled.leaves_under("cde") == ["c", "d", "e"]
+
+    def test_containment_matches_ancestry(self, labeled):
+        assert labeled.is_ancestor("ab", "a")
+        assert labeled.is_ancestor("cde", "cd")
+        assert labeled.is_ancestor("root", "e")
+        assert not labeled.is_ancestor("ab", "c")
+        assert not labeled.is_ancestor("cd", "cde")
+
+    def test_self_containment(self, labeled):
+        assert labeled.is_ancestor("cd", "cd")
+
+    def test_unknown_name(self, labeled):
+        with pytest.raises(TreeError):
+            labeled.label_of("zz")
+
+    def test_leaf_position_rejects_internal(self, labeled):
+        with pytest.raises(TreeError, match="not a leaf"):
+            labeled.leaf_position("cd")
+
+    def test_depths(self, labeled):
+        assert labeled.label_of("root").depth == 0
+        assert labeled.label_of("ab").depth == 1
+        assert labeled.label_of("c").depth == 3
+
+    def test_sibling_leaves(self, labeled):
+        assert labeled.sibling_leaves("c", window=1) == ["b", "d"]
+        assert labeled.sibling_leaves("a", window=2) == ["b", "c"]
+
+    def test_deep_tree_does_not_recurse(self):
+        tree = caterpillar_tree([f"t{i}" for i in range(3000)])
+        labeling = IntervalLabeling(tree)
+        assert labeling.leaf_count == 3000
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=40), st.integers(0, 10_000))
+    def test_property_interval_containment_equals_traversal(self, n, seed):
+        """The interval predicate must agree with actual tree traversal
+        for every (internal node, leaf) pair."""
+        tree = birth_death_tree(n, seed=seed)
+        name_internal_clades(tree)
+        labeling = IntervalLabeling(tree)
+        for node in tree.preorder():
+            if node.is_leaf or not node.name:
+                continue
+            truth = {leaf.name for leaf in node.leaves()}
+            by_interval = set(labeling.leaves_under(node.name))
+            assert by_interval == truth
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=3, max_value=30), st.integers(0, 10_000))
+    def test_property_intervals_nest_or_disjoint(self, n, seed):
+        """Any two subtree intervals either nest or are disjoint."""
+        tree = birth_death_tree(n, seed=seed)
+        labeling = IntervalLabeling(tree)
+        labels = [labeling.label_of_node(node) for node in tree.preorder()]
+        for first in labels:
+            for second in labels:
+                a = (first.pre, first.post)
+                b = (second.pre, second.post)
+                nested = (a[0] <= b[0] and b[1] <= a[1]) or \
+                         (b[0] <= a[0] and a[1] <= b[1])
+                disjoint = a[1] <= b[0] or b[1] <= a[0]
+                assert nested or disjoint
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=40), st.integers(0, 10_000))
+    def test_property_leaf_positions_dense(self, n, seed):
+        tree = birth_death_tree(n, seed=seed)
+        labeling = IntervalLabeling(tree)
+        positions = sorted(
+            labeling.leaf_position(name) for name in tree.leaf_names()
+        )
+        assert positions == list(range(n))

@@ -1,0 +1,105 @@
+"""Tests for later-added features: sequence search in DrugTree,
+EXPLAIN ANALYZE, and the cache-soundness property."""
+
+import pytest
+
+from repro.bio import parse_newick
+from repro.core import DrugTree, EngineConfig, QueryEngine
+from repro.errors import QueryError
+from repro.workloads import (
+    DatasetConfig,
+    QueryGenerator,
+    WorkloadConfig,
+    build_dataset,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DatasetConfig(n_leaves=16, n_ligands=25,
+                                       seed=91))
+
+
+@pytest.fixture(scope="module")
+def drugtree(dataset):
+    return dataset.drugtree()
+
+
+class TestSequenceSearchInDrugTree:
+    def test_integration_populates_sequence_index(self, drugtree):
+        assert len(drugtree.sequence_index) == drugtree.protein_count
+
+    def test_exact_sequence_finds_its_protein(self, dataset, drugtree):
+        target = dataset.family.sequences[5]
+        hits = drugtree.search_similar_proteins(target.residues,
+                                                top_k=3)
+        assert hits[0].seq_id == target.seq_id
+        assert hits[0].identity == 1.0
+
+    def test_empty_index_raises(self):
+        tree = parse_newick("((a,b),c);")
+        empty = DrugTree(tree)
+        empty.add_protein("a")  # no sequence given
+        with pytest.raises(QueryError, match="no sequences"):
+            empty.search_similar_proteins("MKTAYIAKQR")
+
+    def test_manual_sequence_via_add_protein(self):
+        tree = parse_newick("((a,b),c);")
+        drugtree = DrugTree(tree)
+        drugtree.add_protein("a", sequence="MKTAYIAKQRQISFVKSHFSRQ")
+        drugtree.add_protein("b", sequence="MKTAYIAKQRQISFVKAAASRQ")
+        hits = drugtree.search_similar_proteins(
+            "MKTAYIAKQRQISFVKSHFSRQ", top_k=2,
+        )
+        assert hits[0].seq_id == "a"
+
+
+class TestExplainAnalyze:
+    def test_reports_plan_and_actuals(self, drugtree):
+        engine = QueryEngine(drugtree)
+        text = engine.explain_analyze(
+            "SELECT * FROM bindings WHERE p_affinity >= 7.0"
+        )
+        assert "cost=" in text
+        assert "-- actual:" in text
+        assert "scanned" in text
+
+    def test_actual_rows_match_execution(self, drugtree):
+        engine = QueryEngine(drugtree,
+                             EngineConfig(use_semantic_cache=False))
+        dtql = "SELECT * FROM bindings WHERE potent = true"
+        executed = len(engine.execute(dtql).rows)
+        analyzed = engine.explain_analyze(dtql)
+        assert f"{executed} rows" in analyzed
+
+
+class TestCacheSoundness:
+    def test_property_every_cache_answer_matches_fresh_execution(
+            self, dataset, drugtree):
+        """The strongest cache invariant: on a realistic session, every
+        answer the cached engine returns (hit or miss) must be
+        row-identical to a cache-free engine."""
+        generator = QueryGenerator(dataset.family, dataset.ligands,
+                                   seed=17)
+        queries = []
+        for session_seed in range(3):
+            queries.extend(generator.navigation_session(
+                steps=6, revisit_probability=0.5,
+            ))
+        queries.extend(generator.workload(
+            WorkloadConfig(n_queries=15, seed=18)
+        ))
+
+        cached = QueryEngine(drugtree, EngineConfig())
+        fresh = QueryEngine(drugtree,
+                            EngineConfig(use_semantic_cache=False))
+        hits = 0
+        for query in queries:
+            a = cached.execute(query)
+            b = fresh.execute(query)
+            if a.cache_outcome in ("exact", "subsumed"):
+                hits += 1
+            assert sorted(map(repr, a.rows)) == sorted(map(repr,
+                                                           b.rows)), \
+                f"cache diverged ({a.cache_outcome}) on: {query}"
+        assert hits > 5  # the property only matters if hits happened

@@ -1,0 +1,97 @@
+"""Property: query normalisation never changes results.
+
+Random conjunctive predicate sets (including redundant and contradictory
+combinations) must produce identical rows whether or not the rewrite
+rules fire — executed against a real overlay via both the optimized
+engine (which normalises) and direct row filtering (which does not).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EngineConfig, QueryEngine
+from repro.core.query.ast import Comparison, Query
+from repro.core.query.rules import normalize
+from repro.workloads import DatasetConfig, build_dataset
+
+_AFFINITY_BOUNDS = st.tuples(
+    st.sampled_from(["<", "<=", ">", ">="]),
+    st.floats(4.0, 9.5, allow_nan=False).map(lambda v: round(v, 2)),
+)
+
+predicate_sets = st.lists(
+    st.one_of(
+        _AFFINITY_BOUNDS.map(
+            lambda p: Comparison("p_affinity", p[0], p[1])
+        ),
+        st.sampled_from([True, False]).map(
+            lambda v: Comparison("potent", "=", v)
+        ),
+        st.sampled_from(["Ki", "Kd", "IC50", "EC50"]).map(
+            lambda v: Comparison("activity_type", "=", v)
+        ),
+    ),
+    min_size=1, max_size=5,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = build_dataset(DatasetConfig(n_leaves=12, n_ligands=20,
+                                          seed=71))
+    drugtree = dataset.drugtree()
+    engine = QueryEngine(drugtree, EngineConfig(use_semantic_cache=False))
+    rows = engine.execute("SELECT * FROM bindings").rows
+    return engine, rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates=predicate_sets)
+def test_property_normalized_query_matches_direct_filter(world,
+                                                         predicates):
+    engine, all_rows = world
+    query = Query(predicates=tuple(predicates))
+    result = engine.execute(query)
+    expected = [
+        row for row in all_rows
+        if all(pred.matches(row.get(pred.column)) for pred in predicates)
+    ]
+    assert sorted(map(repr, result.rows)) == sorted(map(repr, expected))
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates=predicate_sets)
+def test_property_contradiction_flag_is_sound(world, predicates):
+    """If normalisation declares a contradiction, the direct filter must
+    find zero rows (the flag may be conservative, never wrong)."""
+    engine, all_rows = world
+    outcome = normalize(Query(predicates=tuple(predicates)))
+    if outcome.contradiction:
+        surviving = [
+            row for row in all_rows
+            if all(pred.matches(row.get(pred.column))
+                   for pred in predicates)
+        ]
+        assert surviving == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates=predicate_sets)
+def test_property_dropped_predicates_were_redundant(world, predicates):
+    """Filtering with the normalised predicate set must equal filtering
+    with the original set."""
+    engine, all_rows = world
+    outcome = normalize(Query(predicates=tuple(predicates)))
+    if outcome.contradiction:
+        return
+    original = [
+        row for row in all_rows
+        if all(pred.matches(row.get(pred.column)) for pred in predicates)
+    ]
+    reduced = [
+        row for row in all_rows
+        if all(pred.matches(row.get(pred.column))
+               for pred in outcome.query.predicates)
+    ]
+    assert sorted(map(repr, original)) == sorted(map(repr, reduced))

@@ -1,0 +1,110 @@
+"""Tests for DrugTree save/load snapshots."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    QueryEngine,
+    drugtree_to_dict,
+    load_drugtree,
+    save_drugtree,
+)
+from repro.errors import QueryError
+from repro.workloads import DatasetConfig, build_dataset
+
+
+@pytest.fixture(scope="module")
+def drugtree():
+    dataset = build_dataset(DatasetConfig(n_leaves=14, n_ligands=25,
+                                          seed=77))
+    return dataset.drugtree()
+
+
+class TestRoundtrip:
+    def test_counts_preserved(self, drugtree, tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        assert loaded.leaf_count == drugtree.leaf_count
+        assert loaded.protein_count == drugtree.protein_count
+        assert loaded.ligand_count == drugtree.ligand_count
+        assert loaded.binding_count == drugtree.binding_count
+
+    def test_table_rows_identical(self, drugtree, tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        for name in ("proteins", "ligands", "bindings"):
+            original = sorted(map(repr,
+                                  drugtree.tables[name].scan_rows()))
+            restored = sorted(map(repr,
+                                  loaded.tables[name].scan_rows()))
+            assert original == restored
+
+    def test_fingerprints_preserved_bit_for_bit(self, drugtree,
+                                                tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        assert loaded.fingerprints == drugtree.fingerprints
+
+    def test_topology_preserved(self, drugtree, tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        assert loaded.tree.robinson_foulds(drugtree.tree) == 0
+
+    def test_queries_agree_after_reload(self, drugtree, tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        queries = [
+            "SELECT count(*) FROM bindings",
+            "SELECT * FROM bindings WHERE p_affinity >= 7.0",
+            "SELECT organism, count(*) FROM bindings, proteins "
+            "GROUP BY organism",
+        ]
+        config = EngineConfig(use_semantic_cache=False)
+        for text in queries:
+            original = QueryEngine(drugtree, config).execute(text).rows
+            restored = QueryEngine(loaded, config).execute(text).rows
+            assert sorted(map(repr, original)) == sorted(map(repr,
+                                                             restored))
+
+    def test_clade_aggregates_rebuilt(self, drugtree, tmp_path):
+        path = save_drugtree(drugtree, tmp_path / "snapshot.json")
+        loaded = load_drugtree(path)
+        for node in drugtree.tree.preorder():
+            if not node.name or node.is_leaf:
+                continue
+            original = drugtree.clade_stats(node.name)
+            restored = loaded.clade_stats(node.name)
+            assert original == pytest.approx(restored)
+
+    def test_snapshot_is_stable_json(self, drugtree, tmp_path):
+        first = save_drugtree(drugtree, tmp_path / "a.json").read_text()
+        second = save_drugtree(drugtree, tmp_path / "b.json").read_text()
+        assert first == second
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(QueryError, match="cannot load"):
+            load_drugtree(tmp_path / "ghost.json")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(QueryError):
+            load_drugtree(path)
+
+    def test_non_object_snapshot(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(QueryError, match="JSON object"):
+            load_drugtree(path)
+
+    def test_wrong_version(self, drugtree, tmp_path):
+        data = drugtree_to_dict(drugtree)
+        data["format_version"] = 99
+        path = tmp_path / "versioned.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(QueryError, match="unsupported snapshot"):
+            load_drugtree(path)

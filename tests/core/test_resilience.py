@@ -1,0 +1,115 @@
+"""End-to-end resilience: integrating over a flaky federation.
+
+The wrappers exist to be stacked; these tests verify the whole pipeline
+works when every source is unreliable, and that the retry layer is what
+makes the difference.
+"""
+
+import pytest
+
+from repro.core import IntegrationPipeline
+from repro.errors import SourceUnavailableError
+from repro.sources import (
+    LatencyModel,
+    RetryingSource,
+    SourceRegistry,
+)
+from repro.sources.activity import LigandActivitySource
+from repro.sources.annotation import AnnotationSource
+from repro.sources.base import FaultModel
+from repro.sources.protein import ProteinStructureSource
+from repro.sources.clock import SimulatedClock
+from repro.workloads import DatasetConfig, build_dataset
+
+
+def _flaky_world(failure_rate: float, seed: int = 61):
+    """A dataset whose three sources fail at the given rate."""
+    return build_dataset(DatasetConfig(
+        n_leaves=14, n_ligands=20, seed=seed,
+        failure_rate=failure_rate,
+    ))
+
+
+def _wrapped_registry(dataset, max_attempts: int) -> SourceRegistry:
+    registry = SourceRegistry()
+    for source in (dataset.protein_source, dataset.activity_source,
+                   dataset.annotation_source):
+        registry.register(RetryingSource(source,
+                                         max_attempts=max_attempts))
+    return registry
+
+
+class TestFlakyIntegration:
+    def test_unprotected_integration_fails(self):
+        dataset = _flaky_world(failure_rate=0.3)
+        pipeline = IntegrationPipeline(dataset.registry, mode="per_item")
+        with pytest.raises(SourceUnavailableError):
+            # Per-item mode makes hundreds of calls; at 30% failure one
+            # of them dies with near-certainty.
+            pipeline.build_drugtree(dataset.tree)
+
+    def test_retry_wrapped_integration_succeeds(self):
+        dataset = _flaky_world(failure_rate=0.3)
+        registry = _wrapped_registry(dataset, max_attempts=8)
+        pipeline = IntegrationPipeline(registry, mode="batched")
+        drugtree, result = pipeline.build_drugtree(dataset.tree)
+        assert drugtree.binding_count == len(dataset.bindings)
+        assert result.proteins == 14
+
+    def test_retries_cost_latency(self):
+        reliable = _flaky_world(failure_rate=0.0)
+        flaky = _flaky_world(failure_rate=0.3)
+        _, clean = IntegrationPipeline(
+            _wrapped_registry(reliable, max_attempts=8), mode="batched",
+        ).build_drugtree(reliable.tree)
+        _, noisy = IntegrationPipeline(
+            _wrapped_registry(flaky, max_attempts=8), mode="batched",
+        ).build_drugtree(flaky.tree)
+        assert noisy.roundtrips >= clean.roundtrips
+        assert noisy.virtual_latency_s >= clean.virtual_latency_s
+
+    def test_flaky_world_same_overlay_as_reliable(self):
+        """Failures must never corrupt the result — only delay it."""
+        reliable = _flaky_world(failure_rate=0.0, seed=62)
+        flaky = _flaky_world(failure_rate=0.25, seed=62)
+        clean_tree, _ = IntegrationPipeline(
+            reliable.registry, mode="batched",
+        ).build_drugtree(reliable.tree)
+        noisy_tree, _ = IntegrationPipeline(
+            _wrapped_registry(flaky, max_attempts=10), mode="batched",
+        ).build_drugtree(flaky.tree)
+        for name in ("proteins", "ligands", "bindings"):
+            clean_rows = sorted(map(repr,
+                                    clean_tree.tables[name].scan_rows()))
+            noisy_rows = sorted(map(repr,
+                                    noisy_tree.tables[name].scan_rows()))
+            assert clean_rows == noisy_rows
+
+
+class TestRateLimitedIntegration:
+    def test_rate_limited_source_with_batching(self):
+        """Batched integration fits under a rate limit that per-item
+        integration would blow through."""
+        clock = SimulatedClock()
+        dataset = build_dataset(DatasetConfig(n_leaves=12, n_ligands=15,
+                                              seed=63))
+        limited = ProteinStructureSource(
+            clock,
+            [dataset.protein_source.fetch("protein", pid)
+             for pid in dataset.family.protein_ids],
+            latency=LatencyModel(base_s=0.01, jitter_fraction=0.0),
+            faults=FaultModel(max_calls_per_window=10, window_s=1.0),
+        )
+        activity = LigandActivitySource(
+            clock, [], [], latency=LatencyModel(jitter_fraction=0.0),
+        )
+        annotation = AnnotationSource(
+            clock, [], latency=LatencyModel(jitter_fraction=0.0),
+        )
+        registry = SourceRegistry()
+        registry.register(limited)
+        registry.register(activity)
+        registry.register(annotation)
+        pipeline = IntegrationPipeline(registry, mode="batched")
+        drugtree, _ = pipeline.build_drugtree(dataset.tree)
+        assert drugtree.protein_count == 12

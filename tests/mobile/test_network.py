@@ -1,0 +1,104 @@
+"""Tests for the mobile network model."""
+
+import pytest
+
+from repro.errors import MobileError
+from repro.mobile import NetworkLink, NetworkProfile, get_profile
+from repro.mobile.network import PROFILES
+from repro.sources import SimulatedClock
+
+
+def _link(profile=None, **overrides):
+    profile = profile or NetworkProfile(
+        "test", downlink_bps=1_000_000, uplink_bps=500_000,
+        rtt_s=0.1, loss_rate=0.0, jitter_fraction=0.0, **overrides,
+    )
+    clock = SimulatedClock()
+    return NetworkLink(profile, clock), clock
+
+
+class TestProfiles:
+    def test_known_profiles_exist(self):
+        for name in ("edge", "3g", "hspa", "lte", "wifi"):
+            assert get_profile(name).name == name
+
+    def test_lookup_case_insensitive(self):
+        assert get_profile("WiFi").name == "wifi"
+
+    def test_unknown_profile(self):
+        with pytest.raises(MobileError):
+            get_profile("5g")
+
+    def test_profiles_ordered_by_speed(self):
+        order = ["edge", "3g", "hspa", "lte", "wifi"]
+        downlinks = [PROFILES[name].downlink_bps for name in order]
+        rtts = [PROFILES[name].rtt_s for name in order]
+        assert downlinks == sorted(downlinks)
+        assert rtts == sorted(rtts, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(MobileError):
+            NetworkProfile("x", downlink_bps=0, uplink_bps=1, rtt_s=0.1)
+        with pytest.raises(MobileError):
+            NetworkProfile("x", downlink_bps=1, uplink_bps=1, rtt_s=-1)
+        with pytest.raises(MobileError):
+            NetworkProfile("x", downlink_bps=1, uplink_bps=1, rtt_s=0.1,
+                           loss_rate=0.9)
+
+
+class TestExchange:
+    def test_zero_bytes_costs_one_rtt(self):
+        link, clock = _link()
+        elapsed = link.exchange(0, 0)
+        assert elapsed == pytest.approx(0.1)
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_transfer_time_scales_with_bytes(self):
+        link, _ = _link()
+        small = link.exchange(0, 10_000)
+        large = link.exchange(0, 100_000)
+        assert large > small
+
+    def test_uplink_and_downlink_separate(self):
+        link, _ = _link()
+        # 125_000 bytes = 1 Mbit: one second down, two seconds up.
+        down = link.exchange(0, 125_000)
+        up = link.exchange(125_000, 0)
+        assert down == pytest.approx(0.1 + 1.0)
+        assert up == pytest.approx(0.1 + 2.0)
+
+    def test_negative_bytes_rejected(self):
+        link, _ = _link()
+        with pytest.raises(MobileError):
+            link.exchange(-1, 0)
+
+    def test_stats_accumulate(self):
+        link, _ = _link()
+        link.exchange(100, 1000)
+        link.exchange(100, 1000)
+        assert link.stats.requests == 2
+        assert link.stats.bytes_down == 2000
+        assert link.stats.bytes_up == 200
+        assert link.stats.transfer_time_s > 0
+
+    def test_loss_inflates_latency(self):
+        lossy_profile = NetworkProfile(
+            "lossy", downlink_bps=1_000_000, uplink_bps=1_000_000,
+            rtt_s=0.1, loss_rate=0.3, jitter_fraction=0.0,
+        )
+        clean_profile = NetworkProfile(
+            "clean", downlink_bps=1_000_000, uplink_bps=1_000_000,
+            rtt_s=0.1, loss_rate=0.0, jitter_fraction=0.0,
+        )
+        clock = SimulatedClock()
+        lossy = NetworkLink(lossy_profile, clock, seed=1)
+        clean = NetworkLink(clean_profile, clock, seed=1)
+        payload = 150_000  # 100 packets
+        assert lossy.exchange(0, payload) > clean.exchange(0, payload)
+        assert lossy.stats.retransmitted_packets > 0
+
+    def test_slower_profile_slower_everywhere(self):
+        clock = SimulatedClock()
+        edge = NetworkLink(get_profile("edge"), clock, seed=0)
+        wifi = NetworkLink(get_profile("wifi"), clock, seed=0)
+        assert edge.exchange(200, 20_000) > wifi.exchange(200, 20_000)

@@ -1,0 +1,133 @@
+"""Tests for the wire protocol: encoding, compression, deltas."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MobileError
+from repro.mobile.protocol import (
+    KIND_DELTA,
+    KIND_FULL,
+    Message,
+    apply_delta,
+    compute_delta,
+    decode_payload,
+    delta_message,
+    encode_payload,
+    full_message,
+)
+
+# Payload-shaped dictionaries: string keys, JSON scalars, one level of
+# nested dicts (like the LOD "nodes" map).
+scalars = st.one_of(st.integers(-1000, 1000), st.booleans(),
+                    st.text(max_size=12),
+                    st.floats(-100, 100, allow_nan=False))
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(scalars, st.dictionaries(st.text(min_size=1, max_size=6),
+                                       scalars, max_size=6)),
+    max_size=10,
+)
+
+
+class TestEncoding:
+    def test_roundtrip_plain(self):
+        payload = {"a": 1, "b": [1, 2], "c": {"x": True}}
+        data = encode_payload(payload, compress=False)
+        assert decode_payload(data, compressed=False) == payload
+
+    def test_roundtrip_compressed(self):
+        payload = {"nodes": {f"n{i}": {"name": f"taxon_{i}"}
+                             for i in range(50)}}
+        data = encode_payload(payload, compress=True)
+        assert decode_payload(data, compressed=True) == payload
+
+    def test_compression_shrinks_redundant_payloads(self):
+        payload = {"rows": [{"organism": "Homo sapiens"}] * 100}
+        raw = encode_payload(payload, compress=False)
+        packed = encode_payload(payload, compress=True)
+        assert len(packed) < len(raw) / 5
+
+    def test_unserialisable_payload(self):
+        with pytest.raises(MobileError):
+            encode_payload({"bad": object()})
+
+    def test_bad_wire_bytes(self):
+        with pytest.raises(MobileError):
+            decode_payload(b"not compressed", compressed=True)
+        with pytest.raises(MobileError):
+            decode_payload(b"[1, 2]", compressed=False)  # not an object
+
+
+class TestMessages:
+    def test_full_message(self):
+        message = full_message({"a": 1})
+        assert message.kind == KIND_FULL
+        assert message.payload() == {"a": 1}
+        assert message.wire_bytes == len(message.data) + 5
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MobileError):
+            Message("partial", b"")
+
+
+class TestDelta:
+    def test_identical_payloads_give_empty_delta(self):
+        payload = {"a": 1, "nodes": {"n1": {"x": 1}}}
+        delta = compute_delta(payload, payload)
+        assert delta == {"set": {}, "drop": []}
+
+    def test_added_and_removed_keys(self):
+        delta = compute_delta({"a": 1, "b": 2}, {"b": 2, "c": 3})
+        assert delta["set"] == {"c": 3}
+        assert delta["drop"] == ["a"]
+
+    def test_nested_dict_patched_per_entry(self):
+        previous = {"nodes": {"n1": 1, "n2": 2, "n3": 3}}
+        current = {"nodes": {"n1": 1, "n2": 20, "n4": 4}}
+        delta = compute_delta(previous, current)
+        patch = delta["set"]["nodes"]
+        assert patch["__patch__"] == {"n2": 20, "n4": 4}
+        assert patch["__drop__"] == ["n3"]
+
+    def test_apply_delta_reconstructs(self):
+        previous = {"focus": "a", "nodes": {"n1": 1, "n2": 2}}
+        current = {"focus": "b", "nodes": {"n2": 2, "n3": 3},
+                   "edges": [1]}
+        delta = compute_delta(previous, current)
+        assert apply_delta(previous, delta) == current
+
+    def test_delta_message_roundtrip(self):
+        previous = {"nodes": {f"n{i}": i for i in range(40)}}
+        current = {"nodes": {**{f"n{i}": i for i in range(40)},
+                             "n40": 40}}
+        message = delta_message(previous, current)
+        assert message.kind == KIND_DELTA
+        assert apply_delta(previous, message.payload()) == current
+
+    def test_small_change_much_smaller_than_full(self):
+        previous = {"nodes": {f"n{i}": {"name": f"taxon_{i}", "d": i}
+                              for i in range(200)}}
+        current = dict(previous)
+        current["nodes"] = dict(previous["nodes"])
+        current["nodes"]["n0"] = {"name": "taxon_0", "d": 999}
+        full = full_message(current)
+        delta = delta_message(previous, current)
+        assert delta.wire_bytes < full.wire_bytes / 5
+
+    def test_malformed_delta_rejected(self):
+        with pytest.raises(MobileError):
+            apply_delta({}, {"set": {}})
+
+    @settings(max_examples=60, deadline=None)
+    @given(payloads, payloads)
+    def test_property_delta_roundtrip(self, previous, current):
+        """apply_delta(prev, compute_delta(prev, cur)) == cur, always."""
+        delta = compute_delta(previous, current)
+        assert apply_delta(previous, delta) == current
+
+    @settings(max_examples=40, deadline=None)
+    @given(payloads)
+    def test_property_self_delta_is_empty(self, payload):
+        delta = compute_delta(payload, payload)
+        assert delta == {"set": {}, "drop": []}

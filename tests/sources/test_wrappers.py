@@ -1,0 +1,213 @@
+"""Tests for caching, prefetching, and retrying source wrappers."""
+
+import pytest
+
+from repro.errors import SourceError, SourceUnavailableError
+from repro.sources import (
+    CachingSource,
+    FaultModel,
+    LatencyModel,
+    PrefetchingSource,
+    RetryingSource,
+    SimulatedClock,
+    SourceRegistry,
+    TableBackedSource,
+)
+
+EXACT = LatencyModel(base_s=0.1, per_item_s=0.0, jitter_fraction=0)
+
+
+def _source(clock, n=20, faults=None, latency=EXACT):
+    tables = {"thing": {f"k{i}": f"v{i}" for i in range(n)}}
+    return TableBackedSource("inner", clock, tables,
+                             latency=latency, faults=faults)
+
+
+class TestCachingSource:
+    def test_second_fetch_is_free(self):
+        clock = SimulatedClock()
+        cached = CachingSource(_source(clock))
+        cached.fetch("thing", "k1")
+        t_after_first = clock.now()
+        assert cached.fetch("thing", "k1") == "v1"
+        assert clock.now() == t_after_first
+        assert cached.hits == 1
+        assert cached.misses == 1
+
+    def test_only_misses_hit_the_source(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+        cached = CachingSource(inner)
+        cached.fetch_many("thing", ["k1", "k2"])
+        cached.fetch_many("thing", ["k1", "k2", "k3"])
+        # Second call fetched only k3.
+        assert inner.stats.keys_requested == 3
+
+    def test_negative_results_cached(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+        cached = CachingSource(inner)
+        assert cached.fetch("thing", "missing") is None
+        roundtrips = inner.stats.roundtrips
+        assert cached.fetch("thing", "missing") is None
+        assert inner.stats.roundtrips == roundtrips
+
+    def test_lru_eviction(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+        cached = CachingSource(inner, capacity=2)
+        cached.fetch("thing", "k1")
+        cached.fetch("thing", "k2")
+        cached.fetch("thing", "k3")  # evicts k1
+        roundtrips = inner.stats.roundtrips
+        cached.fetch("thing", "k2")  # still cached
+        assert inner.stats.roundtrips == roundtrips
+        cached.fetch("thing", "k1")  # evicted → refetch
+        assert inner.stats.roundtrips == roundtrips + 1
+
+    def test_ttl_expiry_uses_virtual_time(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+        cached = CachingSource(inner, ttl_s=5.0)
+        cached.fetch("thing", "k1")
+        clock.advance(10.0)
+        roundtrips = inner.stats.roundtrips
+        cached.fetch("thing", "k1")
+        assert inner.stats.roundtrips == roundtrips + 1
+
+    def test_invalidate(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+        cached = CachingSource(inner)
+        cached.fetch("thing", "k1")
+        cached.invalidate("thing")
+        roundtrips = inner.stats.roundtrips
+        cached.fetch("thing", "k1")
+        assert inner.stats.roundtrips == roundtrips + 1
+
+    def test_hit_rate(self):
+        clock = SimulatedClock()
+        cached = CachingSource(_source(clock))
+        assert cached.hit_rate == 0.0
+        cached.fetch("thing", "k1")
+        cached.fetch("thing", "k1")
+        cached.fetch("thing", "k1")
+        assert cached.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_parameters(self):
+        clock = SimulatedClock()
+        with pytest.raises(SourceError):
+            CachingSource(_source(clock), capacity=0)
+        with pytest.raises(SourceError):
+            CachingSource(_source(clock), ttl_s=0)
+
+
+class TestPrefetchingSource:
+    def test_predicted_keys_become_hits(self):
+        clock = SimulatedClock()
+        inner = _source(clock)
+
+        def predict_next(kind, key):
+            number = int(key[1:])
+            return [f"k{number + 1}", f"k{number + 2}"]
+
+        prefetching = PrefetchingSource(inner, predict_next)
+        prefetching.fetch("thing", "k1")       # pulls k1, k2, k3
+        roundtrips = inner.stats.roundtrips
+        assert prefetching.fetch("thing", "k2") == "v2"
+        assert prefetching.fetch("thing", "k3") == "v3"
+        assert inner.stats.roundtrips == roundtrips
+        assert prefetching.prefetched_keys == 2
+
+    def test_returns_only_requested_keys(self):
+        clock = SimulatedClock()
+        prefetching = PrefetchingSource(
+            _source(clock), lambda kind, key: ["k5", "k6"],
+        )
+        out = prefetching.fetch_many("thing", ["k1"])
+        assert set(out) == {"k1"}
+
+    def test_max_prefetch_bounds_predictions(self):
+        clock = SimulatedClock()
+        prefetching = PrefetchingSource(
+            _source(clock),
+            lambda kind, key: [f"k{i}" for i in range(2, 15)],
+            max_prefetch=3,
+        )
+        prefetching.fetch("thing", "k1")
+        assert prefetching.prefetched_keys == 3
+
+
+class TestRetryingSource:
+    def test_retries_until_success(self):
+        clock = SimulatedClock()
+        # ~50% failure: with 5 attempts a success is near-certain.
+        inner = _source(clock, faults=FaultModel(failure_rate=0.5, seed=3))
+        retrying = RetryingSource(inner, max_attempts=5)
+        assert retrying.fetch("thing", "k1") == "v1"
+
+    def test_gives_up_after_max_attempts(self):
+        clock = SimulatedClock()
+        inner = _source(clock, faults=FaultModel(failure_rate=0.999, seed=0))
+        retrying = RetryingSource(inner, max_attempts=3)
+        with pytest.raises(SourceUnavailableError):
+            retrying.fetch("thing", "k1")
+        assert inner.stats.errors == 3
+
+    def test_backoff_advances_clock(self):
+        clock = SimulatedClock()
+        inner = _source(clock, faults=FaultModel(failure_rate=0.999, seed=0),
+                        latency=LatencyModel(base_s=0, per_item_s=0,
+                                             jitter_fraction=0))
+        retrying = RetryingSource(inner, max_attempts=3, backoff_s=1.0)
+        with pytest.raises(SourceUnavailableError):
+            retrying.fetch("thing", "k1")
+        # Backoffs of 1s and 2s between the three attempts.
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_invalid_parameters(self):
+        clock = SimulatedClock()
+        with pytest.raises(SourceError):
+            RetryingSource(_source(clock), max_attempts=0)
+
+
+class TestRegistry:
+    def test_kind_resolution(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        registry.register(_source(clock))
+        assert registry.fetch("thing", "k1") == "v1"
+        assert "thing" in registry.kinds()
+
+    def test_duplicate_kind_rejected(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        registry.register(_source(clock))
+        with pytest.raises(SourceError, match="already served"):
+            registry.register(_source(clock))
+
+    def test_unknown_kind(self):
+        registry = SourceRegistry()
+        with pytest.raises(SourceError, match="no source serves"):
+            registry.fetch("mystery", "k")
+
+    def test_combined_stats(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        source_a = _source(clock)
+        tables = {"other": {"x": 1}}
+        source_b = TableBackedSource("b", clock, tables, latency=EXACT)
+        registry.register(source_a)
+        registry.register(source_b)
+        registry.fetch("thing", "k1")
+        registry.fetch("other", "x")
+        stats = registry.combined_stats()
+        assert stats["roundtrips"] == 2
+        registry.reset_stats()
+        assert registry.combined_stats()["roundtrips"] == 0
+
+    def test_wrapped_source_registers(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        registry.register(CachingSource(_source(clock)))
+        assert registry.fetch("thing", "k2") == "v2"

@@ -1,0 +1,148 @@
+"""Tests for incrementally maintained materialized aggregates."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage import (
+    MaterializedAggregate,
+    Schema,
+    Table,
+    float_column,
+    string_column,
+)
+
+
+def _table():
+    schema = Schema([
+        string_column("clade"),
+        float_column("p_affinity", nullable=True),
+    ])
+    return Table("overlay", schema)
+
+
+def _view(table, predicate=None):
+    return MaterializedAggregate(table, "clade", "p_affinity",
+                                 predicate=predicate)
+
+
+class TestReads:
+    def test_aggregates_after_inserts(self):
+        table = _table()
+        view = _view(table)
+        table.insert({"clade": "A", "p_affinity": 6.0})
+        table.insert({"clade": "A", "p_affinity": 8.0})
+        table.insert({"clade": "B", "p_affinity": 5.0})
+        assert view.get("A", "count") == 2
+        assert view.get("A", "sum") == pytest.approx(14.0)
+        assert view.get("A", "mean") == pytest.approx(7.0)
+        assert view.get("A", "min") == 6.0
+        assert view.get("A", "max") == 8.0
+        assert view.get("B", "count") == 1
+
+    def test_missing_group_is_none(self):
+        view = _view(_table())
+        assert view.get("zz", "count") is None
+
+    def test_unknown_aggregate(self):
+        view = _view(_table())
+        with pytest.raises(StorageError, match="unknown aggregate"):
+            view.get("A", "median")
+
+    def test_null_values_count_but_dont_sum(self):
+        table = _table()
+        view = _view(table)
+        table.insert({"clade": "A", "p_affinity": None})
+        table.insert({"clade": "A", "p_affinity": 4.0})
+        assert view.get("A", "count") == 2
+        assert view.get("A", "sum") == pytest.approx(4.0)
+        assert view.get("A", "min") == 4.0
+
+    def test_snapshot(self):
+        table = _table()
+        view = _view(table)
+        table.insert({"clade": "A", "p_affinity": 6.0})
+        table.insert({"clade": "B", "p_affinity": 7.0})
+        assert view.snapshot("max") == {"A": 6.0, "B": 7.0}
+
+    def test_backfill_of_existing_rows(self):
+        table = _table()
+        table.insert({"clade": "A", "p_affinity": 6.0})
+        view = _view(table)  # created after data exists
+        assert view.get("A", "count") == 1
+
+
+class TestDeletes:
+    def test_delete_updates_count_and_sum(self):
+        table = _table()
+        view = _view(table)
+        row = table.insert({"clade": "A", "p_affinity": 6.0})
+        table.insert({"clade": "A", "p_affinity": 8.0})
+        table.delete(row)
+        assert view.get("A", "count") == 1
+        assert view.get("A", "sum") == pytest.approx(8.0)
+
+    def test_group_vanishes_when_empty(self):
+        table = _table()
+        view = _view(table)
+        row = table.insert({"clade": "A", "p_affinity": 6.0})
+        table.delete(row)
+        assert view.get("A", "count") is None
+        assert view.groups() == []
+
+    def test_min_max_recomputed_after_extremum_delete(self):
+        table = _table()
+        view = _view(table)
+        low = table.insert({"clade": "A", "p_affinity": 1.0})
+        table.insert({"clade": "A", "p_affinity": 5.0})
+        table.insert({"clade": "A", "p_affinity": 9.0})
+        table.delete(low)
+        assert view.get("A", "min") == 5.0
+        assert view.get("A", "max") == 9.0
+        assert view.recomputes >= 2  # initial refresh + group recompute
+
+
+class TestPredicate:
+    def test_filtered_view_ignores_rejected_rows(self):
+        table = _table()
+        view = _view(table,
+                     predicate=lambda row: (row["p_affinity"] or 0) >= 6.0)
+        table.insert({"clade": "A", "p_affinity": 9.0})
+        weak = table.insert({"clade": "A", "p_affinity": 3.0})
+        assert view.get("A", "count") == 1
+        table.delete(weak)  # filtered row: no effect on the view
+        assert view.get("A", "count") == 1
+
+
+class TestConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_incremental_matches_full_refresh(self, seed):
+        """After random inserts/deletes, the incremental state must equal
+        a from-scratch recompute."""
+        rng = random.Random(seed)
+        table = _table()
+        view = _view(table)
+        live = []
+        for _ in range(60):
+            if live and rng.random() < 0.4:
+                row_id = live.pop(rng.randrange(len(live)))
+                table.delete(row_id)
+            else:
+                live.append(table.insert({
+                    "clade": rng.choice("ABC"),
+                    "p_affinity": round(rng.uniform(3, 10), 3),
+                }))
+        incremental = {
+            agg: view.snapshot(agg)
+            for agg in ("count", "sum", "mean", "min", "max")
+        }
+        reference = MaterializedAggregate(table, "clade", "p_affinity")
+        for agg, snapshot in incremental.items():
+            expected = reference.snapshot(agg)
+            assert set(snapshot) == set(expected)
+            for key in snapshot:
+                assert snapshot[key] == pytest.approx(expected[key])

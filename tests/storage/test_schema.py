@@ -1,0 +1,120 @@
+"""Tests for schemas and column typing."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import (
+    Column,
+    ColumnType,
+    Schema,
+    bool_column,
+    float_column,
+    int_column,
+    string_column,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema([
+        string_column("protein_id"),
+        float_column("affinity", nullable=True),
+        int_column("assay_count"),
+        bool_column("potent"),
+    ])
+
+
+class TestColumnType:
+    def test_string_accepts(self):
+        assert ColumnType.STRING.accepts("x")
+        assert not ColumnType.STRING.accepts(3)
+
+    def test_int_rejects_bool(self):
+        assert ColumnType.INT.accepts(3)
+        assert not ColumnType.INT.accepts(True)
+
+    def test_float_accepts_int(self):
+        assert ColumnType.FLOAT.accepts(3)
+        assert ColumnType.FLOAT.accepts(3.5)
+        assert not ColumnType.FLOAT.accepts(True)
+
+    def test_float_coerces_int(self):
+        value = ColumnType.FLOAT.coerce(3)
+        assert isinstance(value, float)
+
+    def test_none_accepted_by_all(self):
+        for column_type in ColumnType:
+            assert column_type.accepts(None)
+
+
+class TestSchema:
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([string_column("a"), int_column("a")])
+
+    def test_rejects_bad_name(self):
+        with pytest.raises(SchemaError):
+            Column("has space", ColumnType.STRING)
+
+    def test_index_of(self, schema):
+        assert schema.index_of("affinity") == 1
+        with pytest.raises(SchemaError, match="unknown column"):
+            schema.index_of("zz")
+
+    def test_column_names(self, schema):
+        assert schema.column_names == (
+            "protein_id", "affinity", "assay_count", "potent",
+        )
+
+    def test_project(self, schema):
+        projected = schema.project(["potent", "protein_id"])
+        assert projected.column_names == ("potent", "protein_id")
+
+
+class TestValidateRow:
+    def test_valid_row_ordered(self, schema):
+        row = schema.validate_row({
+            "protein_id": "P1", "affinity": 7.5,
+            "assay_count": 3, "potent": True,
+        })
+        assert row == ("P1", 7.5, 3, True)
+
+    def test_nullable_column_defaults_none(self, schema):
+        row = schema.validate_row({
+            "protein_id": "P1", "assay_count": 0, "potent": False,
+        })
+        assert row[1] is None
+
+    def test_missing_required_column(self, schema):
+        with pytest.raises(SchemaError, match="not nullable"):
+            schema.validate_row({"affinity": 1.0, "assay_count": 1,
+                                 "potent": True})
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            schema.validate_row({
+                "protein_id": "P1", "assay_count": 1, "potent": True,
+                "extra": 5,
+            })
+
+    def test_type_mismatch(self, schema):
+        with pytest.raises(SchemaError, match="expects int"):
+            schema.validate_row({
+                "protein_id": "P1", "assay_count": "three", "potent": True,
+            })
+
+    def test_int_coerced_in_float_column(self, schema):
+        row = schema.validate_row({
+            "protein_id": "P1", "affinity": 7,
+            "assay_count": 1, "potent": True,
+        })
+        assert isinstance(row[1], float)
+
+    def test_row_as_dict_roundtrip(self, schema):
+        values = {"protein_id": "P1", "affinity": 7.5,
+                  "assay_count": 3, "potent": True}
+        assert schema.row_as_dict(schema.validate_row(values)) == values

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+WORLD = ["--leaves", "16", "--ligands", "20", "--seed", "3"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_network_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mobile", "--network", "5g"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "DrugTree(leaves=16" in out
+        assert "top-level clade" in out
+
+    def test_query_optimized(self, capsys):
+        assert main(["query", "SELECT count(*) FROM bindings",
+                     *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "count_all" in out
+        assert "rows scanned" in out
+
+    def test_query_naive(self, capsys):
+        assert main(["query", "SELECT count(*) FROM bindings",
+                     "--naive", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "round-trips" in out
+
+    def test_query_engines_agree(self, capsys):
+        main(["query", "SELECT count(*) FROM bindings", *WORLD])
+        fast = capsys.readouterr().out.splitlines()[0]
+        main(["query", "SELECT count(*) FROM bindings", "--naive",
+              *WORLD])
+        slow = capsys.readouterr().out.splitlines()[0]
+        assert fast == slow
+
+    def test_query_explain(self, capsys):
+        assert main(["query", "SELECT * FROM bindings "
+                     "WHERE p_affinity >= 7.0", "--explain",
+                     *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out
+
+    def test_query_max_rows(self, capsys):
+        assert main(["query", "SELECT ligand_id FROM bindings",
+                     "--max-rows", "3", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "(3 shown)" in out
+
+    def test_bad_query_is_reported_not_raised(self, capsys):
+        assert main(["query", "SELECT nonsense_column", *WORLD]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_clades(self, capsys):
+        assert main(["clades", "--max-rows", "5", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "clade_0000" in out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "--depth", "2", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "clade_0000" in out
+        assert "bindings" in out
+        assert "leaves)" in out  # collapsed summaries
+
+    def test_mobile(self, capsys):
+        assert main(["mobile", "--network", "wifi", "--gestures", "5",
+                     *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "mean latency" in out
+        assert "KB downloaded" in out
+
+    def test_export(self, capsys, tmp_path):
+        target = str(tmp_path / "world")
+        assert main(["export", target, *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "bindings" in out
+        assert (tmp_path / "world" / "tree.nwk").exists()
+
+    def test_similar(self, capsys):
+        assert main(["similar", "c1ccccc1", "--threshold", "0.3",
+                     *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "prefilter examined" in out
+
+    def test_similar_bad_smiles(self, capsys):
+        assert main(["similar", "not-a-smiles", *WORLD]) == 1
+        assert "error:" in capsys.readouterr().err

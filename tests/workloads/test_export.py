@@ -1,0 +1,97 @@
+"""Tests for dataset export/import."""
+
+import pytest
+
+from repro.bio import parse_fasta, parse_newick
+from repro.chem import parse_smiles
+from repro.errors import WorkloadError
+from repro.workloads import DatasetConfig, build_dataset
+from repro.workloads.export import (
+    export_dataset,
+    load_bindings_csv,
+    load_smiles_file,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DatasetConfig(n_leaves=10, n_ligands=15,
+                                       seed=44))
+
+
+@pytest.fixture(scope="module")
+def exported(dataset, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("export")
+    return export_dataset(dataset, directory)
+
+
+class TestExport:
+    def test_all_artifacts_written(self, exported):
+        assert set(exported) == {
+            "sequences", "tree", "ligands", "bindings", "proteins",
+        }
+        for path in exported.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_fasta_parses_back(self, dataset, exported):
+        sequences = parse_fasta(exported["sequences"].read_text("utf-8"))
+        assert sequences == dataset.family.sequences
+
+    def test_newick_parses_back(self, dataset, exported):
+        tree = parse_newick(exported["tree"].read_text("utf-8").strip())
+        assert tree.robinson_foulds(dataset.tree) == 0
+
+    def test_smiles_file_parses_back(self, dataset, exported):
+        pairs = load_smiles_file(exported["ligands"])
+        assert len(pairs) == len(dataset.ligands)
+        for (smiles, name), ligand in zip(pairs, dataset.ligands):
+            assert name == ligand.ligand_id
+            # Every exported SMILES is chemically valid.
+            assert parse_smiles(smiles).heavy_atom_count > 0
+
+    def test_bindings_roundtrip(self, dataset, exported):
+        records = load_bindings_csv(exported["bindings"])
+        assert len(records) == len(dataset.bindings)
+        for loaded, original in zip(records, dataset.bindings):
+            assert loaded.ligand_id == original.ligand_id
+            assert loaded.protein_id == original.protein_id
+            assert loaded.activity_type == original.activity_type
+            assert loaded.value_nm == pytest.approx(original.value_nm,
+                                                    rel=1e-5)
+
+    def test_proteins_csv_has_metadata(self, dataset, exported):
+        text = exported["proteins"].read_text("utf-8")
+        assert "protein_id,organism,family" in text.splitlines()[0]
+        assert len(text.splitlines()) == dataset.config.n_leaves + 1
+
+
+class TestLoaders:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_bindings_csv(tmp_path / "ghost.csv")
+        with pytest.raises(WorkloadError):
+            load_smiles_file(tmp_path / "ghost.smi")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("ligand_id,protein_id\nL1,P1\n")
+        with pytest.raises(WorkloadError, match="missing columns"):
+            load_bindings_csv(path)
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "ligand_id,protein_id,activity_type,value_nm\n"
+            "L1,P1,Ki,10.0\n"
+            "L2,P2,Ki,not_a_number\n"
+        )
+        with pytest.raises(WorkloadError, match="line 3"):
+            load_bindings_csv(path)
+
+    def test_smi_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "lib.smi"
+        path.write_text("# header\n\nCCO ethanol\nc1ccccc1\n")
+        pairs = load_smiles_file(path)
+        assert pairs[0] == ("CCO", "ethanol")
+        assert pairs[1][0] == "c1ccccc1"  # auto-named
