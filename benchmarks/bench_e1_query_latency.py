@@ -14,8 +14,6 @@ while optimized cost tracks the answer.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.core import NaiveEngine, QueryEngine
@@ -27,6 +25,7 @@ from repro.workloads import (
     build_dataset,
     mean,
     speedup,
+    time_wall,
 )
 
 TREE_SIZES = (50, 100, 200)
@@ -37,9 +36,8 @@ def _run_workload(engine, queries, is_naive: bool) -> dict[str, float]:
     wall_times = []
     virtual = 0.0
     for query in queries:
-        started = time.perf_counter()
-        result = engine.execute(query)
-        wall_times.append(time.perf_counter() - started)
+        result, elapsed = time_wall(lambda: engine.execute(query))
+        wall_times.append(elapsed)
         if is_naive:
             virtual += result.virtual_latency_s
     return {

@@ -11,10 +11,10 @@ per-query cost is flat regardless of locality.
 
 from __future__ import annotations
 
-import time
+import json
 
 from repro.core import EngineConfig, QueryEngine
-from repro.workloads import QueryGenerator, TextTable, mean
+from repro.workloads import QueryGenerator, TextTable, mean, time_wall
 
 LOCALITIES = (0.0, 0.3, 0.6, 0.9)
 SESSION_STEPS = 10
@@ -37,15 +37,15 @@ def _measure(engine, queries):
     wall = []
     hits = 0
     for query in queries:
-        started = time.perf_counter()
-        result = engine.execute(query)
-        wall.append(time.perf_counter() - started)
+        result, elapsed = time_wall(lambda: engine.execute(query))
+        wall.append(elapsed)
         if result.cache_outcome in ("exact", "subsumed"):
             hits += 1
     return mean(wall) * 1000, hits / len(queries)
 
 
-def test_e4_cache_vs_locality(benchmark, world_medium, report):
+def test_e4_cache_vs_locality(benchmark, world_medium, report,
+                              bench_metrics):
     dataset = world_medium
     drugtree = dataset.drugtree()
 
@@ -86,6 +86,20 @@ def test_e4_cache_vs_locality(benchmark, world_medium, report):
             assert cached_ms <= uncached_ms * 1.25
     _, _, cached_high, uncached_high = rows[-1]
     assert cached_high * 2 < uncached_high
+
+    # Emit the observability counters behind the table: the semantic
+    # cache's own accounting, straight from the metrics registry, which
+    # the session hook also persists to BENCH_METRICS.json.
+    snapshot = bench_metrics.snapshot()
+    assert snapshot == json.loads(json.dumps(snapshot))
+    obs_table = TextTable(
+        ["metric", "value"],
+        title="E4  metrics registry: semantic cache counters",
+    )
+    for name, value in sorted(snapshot["counters"].items()):
+        if name.startswith("semantic_cache."):
+            obs_table.add_row(name, value)
+    report(obs_table)
 
 
 def test_e4_cache_hit_wall_time(benchmark, world_medium):

@@ -9,6 +9,7 @@ contains the rows EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
@@ -16,7 +17,30 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs  # noqa: E402
 from repro.workloads import DatasetConfig, build_dataset  # noqa: E402
+
+#: Metric snapshots land next to the benchmark results.
+BENCH_METRICS_PATH = Path(__file__).parent / "BENCH_METRICS.json"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_metrics(request):
+    """One metrics registry for the whole benchmark run.
+
+    Every instrumented layer (sources, caches, engine, mobile server)
+    feeds it while the experiments execute; at session end the snapshot
+    is written to ``BENCH_METRICS.json`` so a benchmark run leaves a
+    machine-readable record of the traffic behind its tables.
+    """
+    registry = obs.MetricsRegistry()
+    previous = obs.get_metrics()
+    obs.set_metrics(registry)
+    yield registry
+    obs.set_metrics(previous)
+    BENCH_METRICS_PATH.write_text(
+        json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

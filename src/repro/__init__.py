@@ -13,6 +13,7 @@ The package layers four subsystems:
   clade materialization, the cost-based query engine, the semantic
   cache, and the naive baseline;
 * :mod:`repro.mobile` — the simulated mobile client/server;
+* :mod:`repro.obs` — tracing, metrics, and EXPLAIN ANALYZE support;
 * :mod:`repro.workloads` — synthetic datasets and the benchmark harness.
 
 Quickstart::
@@ -64,6 +65,7 @@ from repro.mobile import (
     ServerConfig,
     get_profile,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.sources import SimulatedClock, SourceRegistry
 from repro.workloads import (
     Dataset,
@@ -86,6 +88,7 @@ __all__ = [
     "EngineConfig",
     "IntegrationPipeline",
     "Ligand",
+    "MetricsRegistry",
     "MobileClient",
     "Molecule",
     "MultipleAlignment",
@@ -101,6 +104,7 @@ __all__ = [
     "ServerConfig",
     "SimulatedClock",
     "SourceRegistry",
+    "Tracer",
     "__version__",
     "build_dataset",
     "get_profile",

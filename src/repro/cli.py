@@ -4,6 +4,9 @@ Offers the zero-code tour of the system:
 
 * ``info``    — build a synthetic world and print its shape;
 * ``query``   — run one DTQL query (optimized, naive, or EXPLAIN);
+* ``explain`` — EXPLAIN ANALYZE: annotated plan tree with actuals;
+* ``stats``   — run a representative workload, print the metrics
+  registry snapshot and a span summary;
 * ``clades``  — per-clade materialized statistics of the tree;
 * ``tree``    — draw the annotated tree as ASCII art;
 * ``mobile``  — replay a gesture session on a chosen network profile;
@@ -18,9 +21,12 @@ compose (a clade name printed by ``clades`` works in ``query``).
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.core import NaiveEngine, QueryEngine
 from repro.errors import DrugTreeError
 from repro.mobile import (
@@ -97,6 +103,104 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(row)
     shown = min(len(result.rows), limit)
     print(f"-- {len(result.rows)} rows ({shown} shown); {cost}")
+    return 0
+
+
+@contextlib.contextmanager
+def _fresh_observability():
+    """Fresh tracer + metrics for one command; restore defaults after."""
+    previous_tracer = obs.get_tracer()
+    previous_metrics = obs.get_metrics()
+    metrics = obs.MetricsRegistry()
+    obs.set_metrics(metrics)
+    try:
+        yield metrics
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_metrics(previous_metrics)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    with _fresh_observability() as metrics:
+        dataset = _build_world(args)
+        tracer = obs.Tracer(clock=dataset.clock)
+        obs.set_tracer(tracer)
+        drugtree = dataset.drugtree()
+        engine = QueryEngine(drugtree)
+        if args.estimate_only:
+            print(engine.explain(args.dtql))
+            return 0
+        report = engine.analyze(args.dtql)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2,
+                             sort_keys=True))
+            return 0
+        print(report.render())
+        del metrics  # per-source totals already rendered by the report
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _fresh_observability() as metrics:
+        dataset = _build_world(args)
+        tracer = obs.Tracer(clock=dataset.clock)
+        obs.set_tracer(tracer)
+        drugtree = dataset.drugtree()
+        engine = QueryEngine(drugtree)
+
+        # A representative session: repeated + narrowing queries (cache
+        # traffic), one similarity probe, and a short mobile replay.
+        clade = dataset.family.clade_names[0]
+        queries = [
+            "SELECT count(*) FROM bindings",
+            f"SELECT * FROM bindings WHERE p_affinity >= 6.0 "
+            f"IN SUBTREE '{clade}'",
+            f"SELECT * FROM bindings WHERE p_affinity >= 7.0 "
+            f"IN SUBTREE '{clade}'",
+            "SELECT count(*) FROM bindings",
+        ]
+        for dtql in queries:
+            engine.execute(dtql)
+        server = DrugTreeServer(drugtree, ServerConfig())
+        session_id, _ = server.open_session()
+        for focus in dataset.family.clade_names[:3]:
+            server.navigate(session_id, focus)
+        server.close_session(session_id)
+
+        snapshot = metrics.snapshot()
+        if args.json:
+            payload = dict(snapshot)
+            payload["spans"] = tracer.summary()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+
+        counters = TextTable(["counter", "value"], title="Counters")
+        for name, value in snapshot["counters"].items():
+            counters.add_row(name, value)
+        print(counters.render())
+        if snapshot["gauges"]:
+            gauges = TextTable(["gauge", "value"], title="\nGauges")
+            for name, value in snapshot["gauges"].items():
+                gauges.add_row(name, value)
+            print(gauges.render())
+        histograms = TextTable(
+            ["histogram", "count", "mean", "min", "max"],
+            title="\nHistograms",
+        )
+        for name, data in snapshot["histograms"].items():
+            mean_value = (data["sum"] / data["count"]
+                          if data["count"] else 0.0)
+            histograms.add_row(name, data["count"], mean_value,
+                               data["min"] or 0.0, data["max"] or 0.0)
+        print(histograms.render())
+        spans = TextTable(
+            ["span", "count", "total wall ms", "total virtual s"],
+            title="\nSpans",
+        )
+        for name, agg in sorted(tracer.summary().items()):
+            spans.add_row(name, int(agg["count"]),
+                          agg["wall_s"] * 1000, agg["virtual_s"])
+        print(spans.render())
     return 0
 
 
@@ -205,6 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the plan instead of executing")
     query.add_argument("--max-rows", type=int, default=20)
     query.set_defaults(handler=_cmd_query)
+
+    explain = commands.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE one DTQL query (plan tree + actuals)")
+    _add_world_options(explain)
+    explain.add_argument("dtql", help="query text to analyze")
+    explain.add_argument("--estimate-only", action="store_true",
+                         help="print the cost-based plan, do not execute")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the analyze report as JSON")
+    explain.set_defaults(handler=_cmd_explain)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a representative workload, print metrics + spans")
+    _add_world_options(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the metrics snapshot as JSON")
+    stats.set_defaults(handler=_cmd_stats)
 
     clades = commands.add_parser("clades",
                                  help="materialized clade statistics")

@@ -17,7 +17,6 @@ optimized-vs-naive result-equivalence tests meaningful.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Any
 
@@ -27,6 +26,7 @@ from repro.bio.tree import PhyloTree
 from repro.bio.upgma import upgma
 from repro.core.drugtree import DrugTree
 from repro.errors import QueryError
+from repro.obs import WallTimer, get_metrics, get_tracer
 from repro.sources.activity import (
     KIND_ACTIVITY_BY_PROTEIN,
     KIND_COMPOUND,
@@ -200,55 +200,72 @@ class IntegrationPipeline:
         structure source still get a (sparse) row so the overlay always
         covers the whole tree.
         """
-        started_wall = time.perf_counter()
         stats_before = self.registry.combined_stats()
         report = IntegrationReport(mode=self.mode)
 
         drugtree = DrugTree(tree)
         protein_ids = tree.leaf_names()
 
-        entries = self._fetch_map(KIND_PROTEIN, protein_ids)
-        annotations = self._fetch_map(KIND_ANNOTATION, protein_ids)
-        for protein_id in protein_ids:
-            drugtree.add_protein(**protein_row(
-                protein_id,
-                entries.get(protein_id),
-                annotations.get(protein_id),
-                include_sequence=True,
-            ))
-            report.proteins += 1
+        tracer = get_tracer()
+        with tracer.span("integrate.build_drugtree", mode=self.mode,
+                         proteins=len(protein_ids)) as span, \
+                WallTimer() as timer:
+            with tracer.span("integrate.fetch_proteins"):
+                entries = self._fetch_map(KIND_PROTEIN, protein_ids)
+                annotations = self._fetch_map(KIND_ANNOTATION,
+                                              protein_ids)
+            for protein_id in protein_ids:
+                drugtree.add_protein(**protein_row(
+                    protein_id,
+                    entries.get(protein_id),
+                    annotations.get(protein_id),
+                    include_sequence=True,
+                ))
+                report.proteins += 1
 
-        activity_map = self._fetch_map(KIND_ACTIVITY_BY_PROTEIN,
-                                       protein_ids)
-        all_records = [
-            record
-            for records in activity_map.values()
-            for record in records
-        ]
-        ligand_ids = sorted({record.ligand_id for record in all_records})
-        compounds = self._fetch_map(KIND_COMPOUND, ligand_ids)
-        for ligand_id in ligand_ids:
-            compound = compounds.get(ligand_id)
-            if compound is None:
-                continue  # activity without a compound record: skip ligand
-            drugtree.add_ligand(**ligand_row(compound))
-            report.ligands += 1
+            with tracer.span("integrate.fetch_activities"):
+                activity_map = self._fetch_map(KIND_ACTIVITY_BY_PROTEIN,
+                                               protein_ids)
+            all_records = [
+                record
+                for records in activity_map.values()
+                for record in records
+            ]
+            ligand_ids = sorted(
+                {record.ligand_id for record in all_records}
+            )
+            with tracer.span("integrate.fetch_compounds"):
+                compounds = self._fetch_map(KIND_COMPOUND, ligand_ids)
+            for ligand_id in ligand_ids:
+                compound = compounds.get(ligand_id)
+                if compound is None:
+                    continue  # activity without a compound record: skip
+                drugtree.add_ligand(**ligand_row(compound))
+                report.ligands += 1
 
-        known_ligands = set(compounds)
-        for record in all_records:
-            if record.ligand_id not in known_ligands:
-                continue
-            drugtree.add_binding(record)
-            report.bindings += 1
+            known_ligands = set(compounds)
+            for record in all_records:
+                if record.ligand_id not in known_ligands:
+                    continue
+                drugtree.add_binding(record)
+                report.bindings += 1
 
-        if create_indexes:
-            drugtree.create_default_indexes()
-        drugtree.refresh_statistics()
+            with tracer.span("integrate.index_and_materialize"):
+                if create_indexes:
+                    drugtree.create_default_indexes()
+                drugtree.refresh_statistics()
+            span.set("ligands", report.ligands)
+            span.set("bindings", report.bindings)
 
         stats_after = self.registry.combined_stats()
         report.roundtrips = int(stats_after["roundtrips"]
                                 - stats_before["roundtrips"])
         report.virtual_latency_s = (stats_after["virtual_latency_s"]
                                     - stats_before["virtual_latency_s"])
-        report.wall_time_s = time.perf_counter() - started_wall
+        report.wall_time_s = timer.elapsed_s
+        metrics = get_metrics()
+        metrics.counter("integrate.runs").inc()
+        metrics.counter("integrate.roundtrips").inc(report.roundtrips)
+        metrics.counter("integrate.bindings").inc(report.bindings)
+        metrics.histogram("integrate.wall_s").observe(report.wall_time_s)
         return drugtree, report

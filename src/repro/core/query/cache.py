@@ -28,6 +28,7 @@ from typing import Any
 from repro.core.labeling import IntervalLabeling
 from repro.core.query.ast import Query
 from repro.errors import QueryError
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass
@@ -66,6 +67,16 @@ class SemanticCache:
     # -- lookup ---------------------------------------------------------------
 
     def lookup(self, query: Query) -> CacheHit | None:
+        with get_tracer().span("semantic_cache.lookup") as span:
+            hit = self._lookup(query)
+            span.set("outcome", hit.kind if hit is not None else "miss")
+        get_metrics().counter(
+            "semantic_cache."
+            + (f"{hit.kind}_hits" if hit is not None else "misses")
+        ).inc()
+        return hit
+
+    def _lookup(self, query: Query) -> CacheHit | None:
         exact = self._entries.get(query.signature())
         if exact is not None:
             self._entries.move_to_end(query.signature())
@@ -168,6 +179,7 @@ class SemanticCache:
     def invalidate(self) -> None:
         self._entries.clear()
         self.invalidations += 1
+        get_metrics().counter("semantic_cache.invalidations").inc()
 
     @property
     def hit_rate(self) -> float:

@@ -9,7 +9,6 @@ benchmarks aggregate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -57,6 +56,14 @@ from repro.core.query.physical import (
 )
 from repro.core.query.planner import Planner, PlannerConfig, PlanReport
 from repro.errors import PlanError, QueryError
+from repro.obs import (
+    AnalyzeReport,
+    InstrumentedOp,
+    OperatorStats,
+    WallTimer,
+    get_metrics,
+    get_tracer,
+)
 from repro.storage.index import SortedIndex
 
 
@@ -115,7 +122,9 @@ class QueryEngine:
     """Cost-based engine over one DrugTree."""
 
     def __init__(self, drugtree: DrugTree,
-                 config: EngineConfig | None = None) -> None:
+                 config: EngineConfig | None = None,
+                 tracer=None,
+                 metrics=None) -> None:
         self.drugtree = drugtree
         self.config = config or EngineConfig()
         self.planner = Planner(
@@ -128,6 +137,15 @@ class QueryEngine:
                                    capacity=self.config.cache_capacity)
         drugtree.add_mutation_listener(self.cache.invalidate)
         self.queries_executed = 0
+        #: Per-engine overrides; ``None`` means the process-wide default.
+        self.tracer = tracer
+        self.metrics = metrics
+
+    def _obs_tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def _obs_metrics(self):
+        return self.metrics if self.metrics is not None else get_metrics()
 
     # -- public API ------------------------------------------------------------
 
@@ -135,31 +153,57 @@ class QueryEngine:
         """Run a query (AST or DTQL text)."""
         if isinstance(query, str):
             query = parse_query(query)
-        started = time.perf_counter()
+        tracer = self._obs_tracer()
+        metrics = self._obs_metrics()
+        timer = WallTimer().start()
         self.queries_executed += 1
+        metrics.counter("query.executed").inc()
 
-        if self.config.use_semantic_cache:
-            hit = self.cache.lookup(query)
-            if hit is not None:
-                return QueryResult(
-                    rows=hit.rows,
-                    cache_outcome=hit.kind,
-                    wall_time_s=time.perf_counter() - started,
-                )
+        with tracer.span("query.execute") as span:
+            if self.config.use_semantic_cache:
+                hit = self.cache.lookup(query)
+                if hit is not None:
+                    wall = timer.stop()
+                    span.set("cache", hit.kind)
+                    span.set("rows", len(hit.rows))
+                    metrics.histogram("query.wall_s").observe(wall)
+                    metrics.counter("query.rows_returned").inc(
+                        len(hit.rows)
+                    )
+                    return QueryResult(
+                        rows=hit.rows,
+                        cache_outcome=hit.kind,
+                        wall_time_s=wall,
+                    )
 
-        ligand_keys, candidates, sub_candidates = \
-            self._resolve_ligand_filters(query)
-        # Refresh the estimator if statistics went stale (bulk loads).
-        self.planner.estimator = CardinalityEstimator(
-            self.drugtree.statistics
-        )
-        plan = self.planner.plan(query, similar_keys=ligand_keys)
-        counters = ExecCounters()
-        physical = self._to_physical(plan.logical, counters)
-        rows = list(physical.rows())
+            with tracer.span("query.resolve_filters"):
+                ligand_keys, candidates, sub_candidates = \
+                    self._resolve_ligand_filters(query)
+            # Refresh the estimator if statistics went stale (bulk loads).
+            self.planner.estimator = CardinalityEstimator(
+                self.drugtree.statistics
+            )
+            with tracer.span("query.plan"):
+                plan = self.planner.plan(query, similar_keys=ligand_keys)
+            counters = ExecCounters()
+            physical = self._to_physical(plan.logical, counters)
+            with tracer.span("query.run") as run_span:
+                rows = list(physical.rows())
+                run_span.set("rows", len(rows))
+                run_span.set("rows_scanned", counters.rows_scanned)
 
-        if self.config.use_semantic_cache:
-            self.cache.store(query, rows)
+            if self.config.use_semantic_cache:
+                self.cache.store(query, rows)
+
+            wall = timer.stop()
+            span.set("cache",
+                     "miss" if self.config.use_semantic_cache else "off")
+            span.set("rows", len(rows))
+            metrics.histogram("query.wall_s").observe(wall)
+            metrics.counter("query.rows_returned").inc(len(rows))
+            metrics.counter("query.rows_scanned").inc(
+                counters.rows_scanned
+            )
 
         return QueryResult(
             rows=rows,
@@ -167,7 +211,7 @@ class QueryEngine:
             cache_outcome=("miss" if self.config.use_semantic_cache
                            else "off"),
             counters=counters.snapshot(),
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall,
             similarity_candidates=candidates,
             substructure_candidates=sub_candidates,
         )
@@ -180,24 +224,91 @@ class QueryEngine:
         plan = self.planner.plan(query, similar_keys=ligand_keys)
         return plan.explain()
 
-    def explain_analyze(self, query: Query | str) -> str:
-        """EXPLAIN plus actual execution numbers (bypasses the cache,
-        like the SQL statement it imitates)."""
+    def analyze(self, query: Query | str) -> AnalyzeReport:
+        """EXPLAIN ANALYZE: execute with per-operator instrumentation.
+
+        Always executes fresh (like the SQL statement it imitates); the
+        semantic cache is consulted only to report what outcome a normal
+        ``execute`` would have seen. Per-operator spans are emitted into
+        the tracer, and per-source round-trip deltas are read from the
+        metrics registry, so remote traffic during execution (or its
+        absence — the point of the integrated overlay) is visible.
+        """
         if isinstance(query, str):
             query = parse_query(query)
+        tracer = self._obs_tracer()
+        metrics = self._obs_metrics()
+        clock = getattr(tracer, "clock", None)
+
+        cache_outcome = "off (semantic cache disabled)"
+        if self.config.use_semantic_cache:
+            hit = self.cache.lookup(query)
+            cache_outcome = (
+                f"{hit.kind} (result recomputed for analysis)"
+                if hit is not None else "miss"
+            )
+
         ligand_keys, _, __ = self._resolve_ligand_filters(query)
+        self.planner.estimator = CardinalityEstimator(
+            self.drugtree.statistics
+        )
         plan = self.planner.plan(query, similar_keys=ligand_keys)
         counters = ExecCounters()
-        physical = self._to_physical(plan.logical, counters)
-        started = time.perf_counter()
-        rows = list(physical.rows())
-        elapsed_ms = (time.perf_counter() - started) * 1000
-        actuals = (
-            f"-- actual: {len(rows)} rows in {elapsed_ms:.2f} ms; "
-            f"scanned {counters.rows_scanned}, "
-            f"probes {counters.index_probes}"
+        root = OperatorStats("plan")
+        physical = self._to_physical(plan.logical, counters,
+                                     probe=root, clock=clock)
+
+        before = metrics.counter_values("source.roundtrips.")
+        virtual_before = clock.now() if clock is not None else 0.0
+        with tracer.span("query.explain_analyze") as span, \
+                WallTimer() as timer:
+            rows = list(physical.rows())
+            span.set("rows", len(rows))
+        virtual_s = (clock.now() - virtual_before
+                     if clock is not None else 0.0)
+        after = metrics.counter_values("source.roundtrips.")
+
+        prefix = "source.roundtrips."
+        source_roundtrips = {
+            name[len(prefix):]: {
+                "during": total - before.get(name, 0),
+                "total": total,
+            }
+            for name, total in after.items()
+        }
+
+        operators = root.children[0] if root.children else root
+        self._emit_operator_spans(tracer, operators)
+        return AnalyzeReport(
+            plan_text=plan.explain(),
+            operators=operators,
+            rows=len(rows),
+            wall_s=timer.elapsed_s,
+            virtual_s=virtual_s,
+            estimated_rows=plan.estimated_rows,
+            estimated_cost=plan.estimated_cost,
+            cache_outcome=cache_outcome,
+            counters=counters.snapshot(),
+            source_roundtrips=source_roundtrips,
         )
-        return f"{plan.explain()}\n{actuals}"
+
+    def explain_analyze(self, query: Query | str) -> str:
+        """EXPLAIN plus actual execution numbers, as annotated text."""
+        return self.analyze(query).render()
+
+    def _emit_operator_spans(self, tracer, stats: OperatorStats,
+                             parent=None) -> None:
+        span = tracer.record(
+            "op." + stats.label.split("(", 1)[0],
+            wall_s=stats.wall_s,
+            virtual_s=stats.virtual_s or None,
+            parent=parent,
+            rows=stats.rows_out,
+            loops=stats.loops,
+            label=stats.label,
+        )
+        for child in stats.children:
+            self._emit_operator_spans(tracer, child, parent=span)
 
     # -- ligand-filter resolution --------------------------------------------
 
@@ -270,8 +381,24 @@ class QueryEngine:
 
     # -- physical lowering ----------------------------------------------------------
 
-    def _to_physical(self, node: LogicalNode,
-                     counters: ExecCounters) -> PhysicalOp:
+    def _to_physical(self, node: LogicalNode, counters: ExecCounters,
+                     probe: OperatorStats | None = None,
+                     clock=None) -> PhysicalOp:
+        """Lower *node*; with *probe*, instrument it for EXPLAIN ANALYZE.
+
+        *probe* is the parent's stats node: this operator appends its
+        own stats child and comes back wrapped so execution charges
+        actual rows and (wall, virtual) time to it.
+        """
+        if probe is None:
+            return self._lower(node, counters, None, None)
+        stats = probe.child(node.describe(),
+                            getattr(node, "estimated_rows", None))
+        op = self._lower(node, counters, stats, clock)
+        return InstrumentedOp(op, stats, clock)
+
+    def _lower(self, node: LogicalNode, counters: ExecCounters,
+               stats: OperatorStats | None, clock) -> PhysicalOp:
         if isinstance(node, LogicalEmpty):
             return EmptyOp(counters)
         if isinstance(node, LogicalCladeAggregate):
@@ -279,24 +406,24 @@ class QueryEngine:
         if isinstance(node, LogicalScan):
             return self._scan_op(node, counters)
         if isinstance(node, LogicalJoin):
-            return self._join_op(node, counters)
+            return self._join_op(node, counters, stats, clock)
         if isinstance(node, LogicalAggregate):
-            child = self._to_physical(node.child, counters)
+            child = self._to_physical(node.child, counters, stats, clock)
             return HashAggregateOp(counters, child, node.aggregates,
                                    node.group_by)
         if isinstance(node, LogicalHaving):
-            child = self._to_physical(node.child, counters)
+            child = self._to_physical(node.child, counters, stats, clock)
             return FilterOp(counters, child, node.conditions)
         if isinstance(node, LogicalProject):
-            child = self._to_physical(node.child, counters)
+            child = self._to_physical(node.child, counters, stats, clock)
             return ProjectOp(counters, child, node.columns)
         if isinstance(node, LogicalOrder):
-            child = self._to_physical(node.child, counters)
+            child = self._to_physical(node.child, counters, stats, clock)
             if node.limit is not None:
                 return TopKOp(counters, child, node.order_by, node.limit)
             return SortOp(counters, child, node.order_by)
         if isinstance(node, LogicalLimit):
-            child = self._to_physical(node.child, counters)
+            child = self._to_physical(node.child, counters, stats, clock)
             return LimitOp(counters, child, node.limit)
         raise PlanError(f"cannot lower {type(node).__name__}")
 
@@ -334,11 +461,12 @@ class QueryEngine:
                                 node.key_set, node.residual)
         raise PlanError(f"unknown access path {node.access!r}")
 
-    def _join_op(self, node: LogicalJoin,
-                 counters: ExecCounters) -> PhysicalOp:
-        left = self._to_physical(node.left, counters)
+    def _join_op(self, node: LogicalJoin, counters: ExecCounters,
+                 stats: OperatorStats | None = None,
+                 clock=None) -> PhysicalOp:
+        left = self._to_physical(node.left, counters, stats, clock)
         if node.method == "hash":
-            right = self._to_physical(node.right, counters)
+            right = self._to_physical(node.right, counters, stats, clock)
             # Build on the smaller estimated side.
             left_rows = _rows_estimate(node.left)
             right_rows = _rows_estimate(node.right)
@@ -349,8 +477,22 @@ class QueryEngine:
                               key=node.key)
         inner_logical = node.right
 
-        def inner_factory() -> PhysicalOp:
-            return self._to_physical(inner_logical, counters)
+        if stats is not None:
+            # The inner side is re-lowered per outer row; fold every
+            # rescan into one stats node (loops counts the rescans).
+            inner_stats = stats.child(
+                inner_logical.describe(),
+                getattr(inner_logical, "estimated_rows", None),
+            )
+            inner_stats.merge_children = True
+
+            def inner_factory() -> PhysicalOp:
+                op = self._lower(inner_logical, counters, inner_stats,
+                                 clock)
+                return InstrumentedOp(op, inner_stats, clock)
+        else:
+            def inner_factory() -> PhysicalOp:
+                return self._to_physical(inner_logical, counters)
 
         return NestedLoopJoinOp(counters, left, inner_factory, node.key)
 

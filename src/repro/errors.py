@@ -66,3 +66,7 @@ class MobileError(DrugTreeError):
 
 class WorkloadError(DrugTreeError):
     """Synthetic dataset or workload generation failure."""
+
+
+class ObservabilityError(DrugTreeError):
+    """Misuse of the tracing/metrics subsystem (bad buckets, span order)."""

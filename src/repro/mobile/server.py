@@ -11,7 +11,6 @@ full-tree responses (the baselines of experiments E5/E6).
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -20,6 +19,7 @@ from repro.core.query.executor import EngineConfig, QueryEngine
 from repro.errors import MobileError
 from repro.mobile.lod import render_full, render_viewport
 from repro.mobile.protocol import Message, delta_message, full_message
+from repro.obs import WallTimer, get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -79,11 +79,31 @@ class DrugTreeServer:
         session_id = f"s{next(self._session_counter)}"
         session = _Session(session_id, focus=self._root_name)
         self._sessions[session_id] = session
+        get_metrics().gauge("mobile.open_sessions").set(
+            len(self._sessions)
+        )
         response = self._render(session, self._root_name)
         return session_id, response
 
     def close_session(self, session_id: str) -> None:
         self._sessions.pop(session_id, None)
+        get_metrics().gauge("mobile.open_sessions").set(
+            len(self._sessions)
+        )
+
+    def _account(self, interaction: str,
+                 response: ServerResponse) -> ServerResponse:
+        """Meter one served interaction (bytes shipped, latency)."""
+        metrics = get_metrics()
+        metrics.counter("mobile.responses").inc()
+        metrics.counter(f"mobile.responses.{interaction}").inc()
+        metrics.counter("mobile.bytes_shipped").inc(
+            response.message.wire_bytes
+        )
+        metrics.histogram("mobile.server_wall_s").observe(
+            response.server_wall_s
+        )
+        return response
 
     def _session(self, session_id: str) -> _Session:
         try:
@@ -103,15 +123,21 @@ class DrugTreeServer:
     def query(self, session_id: str, dtql: str) -> ServerResponse:
         """Run a DTQL query on behalf of the session."""
         self._session(session_id)  # validates
-        started = time.perf_counter()
-        result = self.engine.execute(dtql)
-        payload = {"rows": result.rows, "cache": result.cache_outcome}
-        message = full_message(payload, compress=self.config.compress)
-        return ServerResponse(
+        with get_tracer().span("mobile.query",
+                               session=session_id) as span, \
+                WallTimer() as timer:
+            result = self.engine.execute(dtql)
+            payload = {"rows": result.rows,
+                       "cache": result.cache_outcome}
+            message = full_message(payload,
+                                   compress=self.config.compress)
+            span.set("rows", len(result.rows))
+            span.set("wire_bytes", message.wire_bytes)
+        return self._account("query", ServerResponse(
             message=message,
-            server_wall_s=time.perf_counter() - started,
+            server_wall_s=timer.elapsed_s,
             payload_rows=len(result.rows),
-        )
+        ))
 
     def search_sequence(self, session_id: str, residues: str,
                         top_k: int = 5) -> ServerResponse:
@@ -121,54 +147,64 @@ class DrugTreeServer:
         sequence and asks the phone where it belongs in the tree.
         """
         self._session(session_id)  # validates
-        started = time.perf_counter()
-        hits = self.drugtree.search_similar_proteins(residues,
-                                                     top_k=top_k)
-        payload = {
-            "hits": [
-                {
-                    "protein_id": hit.seq_id,
-                    "score": hit.score,
-                    "identity": hit.identity,
-                    "leaf_pre": self.drugtree.labeling.leaf_position(
-                        hit.seq_id
-                    ),
-                }
-                for hit in hits
-            ],
-        }
-        message = full_message(payload, compress=self.config.compress)
-        return ServerResponse(
+        with get_tracer().span("mobile.search_sequence",
+                               session=session_id) as span, \
+                WallTimer() as timer:
+            hits = self.drugtree.search_similar_proteins(residues,
+                                                         top_k=top_k)
+            payload = {
+                "hits": [
+                    {
+                        "protein_id": hit.seq_id,
+                        "score": hit.score,
+                        "identity": hit.identity,
+                        "leaf_pre":
+                            self.drugtree.labeling.leaf_position(
+                                hit.seq_id
+                            ),
+                    }
+                    for hit in hits
+                ],
+            }
+            message = full_message(payload,
+                                   compress=self.config.compress)
+            span.set("hits", len(hits))
+        return self._account("search_sequence", ServerResponse(
             message=message,
-            server_wall_s=time.perf_counter() - started,
+            server_wall_s=timer.elapsed_s,
             payload_rows=len(hits),
-        )
+        ))
 
     # -- rendering ------------------------------------------------------------------
 
     def _render(self, session: _Session, focus: str) -> ServerResponse:
-        started = time.perf_counter()
-        if self.config.use_lod:
-            payload = render_viewport(
-                self.drugtree, focus,
-                max_depth=self.config.lod_max_depth,
-                max_nodes=self.config.lod_max_nodes,
-            )
-        else:
-            payload = render_full(self.drugtree)
-        if self.config.use_delta and session.last_payload is not None:
-            # Adaptive framing: a big viewport jump can make the delta
-            # larger than the fresh payload — ship whichever is smaller.
-            delta = delta_message(session.last_payload, payload,
-                                  compress=self.config.compress)
-            full = full_message(payload, compress=self.config.compress)
-            message = delta if delta.wire_bytes < full.wire_bytes else full
-        else:
-            message = full_message(payload,
-                                   compress=self.config.compress)
-        session.last_payload = payload
-        return ServerResponse(
+        with get_tracer().span("mobile.render", focus=focus) as span, \
+                WallTimer() as timer:
+            if self.config.use_lod:
+                payload = render_viewport(
+                    self.drugtree, focus,
+                    max_depth=self.config.lod_max_depth,
+                    max_nodes=self.config.lod_max_nodes,
+                )
+            else:
+                payload = render_full(self.drugtree)
+            if self.config.use_delta and session.last_payload is not None:
+                # Adaptive framing: a big viewport jump can make the
+                # delta larger than the fresh payload — ship whichever
+                # is smaller.
+                delta = delta_message(session.last_payload, payload,
+                                      compress=self.config.compress)
+                full = full_message(payload,
+                                    compress=self.config.compress)
+                message = (delta if delta.wire_bytes < full.wire_bytes
+                           else full)
+            else:
+                message = full_message(payload,
+                                       compress=self.config.compress)
+            session.last_payload = payload
+            span.set("wire_bytes", message.wire_bytes)
+        return self._account("render", ServerResponse(
             message=message,
-            server_wall_s=time.perf_counter() - started,
+            server_wall_s=timer.elapsed_s,
             payload_rows=len(payload.get("nodes", {})),
-        )
+        ))

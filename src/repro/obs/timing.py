@@ -1,0 +1,67 @@
+"""The one wall-clock timing code path.
+
+Every reported wall duration in the system — query execution, mobile
+responses, integration runs, benchmark harness measurements — flows
+through :func:`now_wall` / :class:`WallTimer` so there is exactly one
+place that decides *which* clock wall time means (``time.perf_counter``)
+and one idiom for measuring a block of it.
+
+Virtual (simulated) time stays in :mod:`repro.sources.clock`; the
+tracer measures both side by side.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: The wall clock. Alias, not a wrapper call, so hot paths pay nothing.
+now_wall = time.perf_counter
+
+
+class WallTimer:
+    """Context manager measuring elapsed wall seconds.
+
+    Usable both as a ``with`` block and as an explicit start/stop pair::
+
+        with WallTimer() as timer:
+            work()
+        report(timer.elapsed_s)
+
+    While the block is still running, :attr:`elapsed_s` reflects the
+    time spent so far.
+    """
+
+    __slots__ = ("_started", "_stopped")
+
+    def __init__(self) -> None:
+        self._started: float | None = None
+        self._stopped: float | None = None
+
+    def start(self) -> "WallTimer":
+        self._started = now_wall()
+        self._stopped = None
+        return self
+
+    def stop(self) -> float:
+        self._stopped = now_wall()
+        return self.elapsed_s
+
+    @property
+    def elapsed_s(self) -> float:
+        """Elapsed seconds (so far, if the timer is still running)."""
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else now_wall()
+        return end - self._started
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = "idle" if self._started is None else (
+            "stopped" if self._stopped is not None else "running"
+        )
+        return f"WallTimer({state}, elapsed={self.elapsed_s:.6f}s)"

@@ -28,6 +28,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import RateLimitError, SourceError, SourceUnavailableError
+from repro.obs import get_metrics, get_tracer
 from repro.sources.clock import SimulatedClock
 
 
@@ -161,11 +162,14 @@ class DataSource(ABC):
         self._check_kind(kind)
         key_list = list(keys)
         found: dict[str, object] = {}
-        for start in range(0, max(len(key_list), 1), self.page_size):
-            page = key_list[start:start + self.page_size]
-            records = self._lookup(kind, page)
-            self._charge(len(records), len(page))
-            found.update(records)
+        with get_tracer().span("source.fetch_many", source=self.name,
+                               kind=kind, keys=len(key_list)) as span:
+            for start in range(0, max(len(key_list), 1), self.page_size):
+                page = key_list[start:start + self.page_size]
+                records = self._lookup(kind, page)
+                self._charge(len(records), len(page))
+                found.update(records)
+            span.set("records", len(found))
         return found
 
     def fetch(self, kind: str, key: str) -> object | None:
@@ -176,9 +180,11 @@ class DataSource(ABC):
         """List every key of *kind*, charged one round-trip per page."""
         self._check_kind(kind)
         all_keys = self._all_keys(kind)
-        for start in range(0, max(len(all_keys), 1), self.page_size):
-            page = all_keys[start:start + self.page_size]
-            self._charge(len(page), len(page))
+        with get_tracer().span("source.scan_keys", source=self.name,
+                               kind=kind, keys=len(all_keys)):
+            for start in range(0, max(len(all_keys), 1), self.page_size):
+                page = all_keys[start:start + self.page_size]
+                self._charge(len(page), len(page))
         return all_keys
 
     # -- cost accounting --------------------------------------------------
@@ -197,8 +203,14 @@ class DataSource(ABC):
         self.stats.records_returned += records
         self.stats.keys_requested += requested
         self.stats.virtual_latency_s += cost
+        metrics = get_metrics()
+        metrics.counter(f"source.roundtrips.{self.name}").inc()
+        metrics.counter(f"source.records.{self.name}").inc(records)
+        metrics.counter(f"source.virtual_s.{self.name}").inc(cost)
+        metrics.histogram("source.roundtrip_latency_s").observe(cost)
         if self.faults.draw_failure():
             self.stats.errors += 1
+            metrics.counter(f"source.errors.{self.name}").inc()
             raise SourceUnavailableError(
                 f"source {self.name!r} timed out (simulated)"
             )
@@ -213,6 +225,7 @@ class DataSource(ABC):
             self._window_calls = 0
         if self._window_calls >= limit:
             self.stats.errors += 1
+            get_metrics().counter(f"source.rate_limited.{self.name}").inc()
             raise RateLimitError(
                 f"source {self.name!r} rate limit of {limit} calls per "
                 f"{self.faults.window_s}s exceeded"

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from collections.abc import Callable, Iterable
 
 from repro.errors import SourceError, SourceUnavailableError
+from repro.obs import get_metrics, get_tracer
 from repro.sources.base import DataSource
 
 
@@ -89,27 +90,40 @@ class CachingSource(SourceWrapper):
         now = self.clock.now()
         found: dict[str, object] = {}
         missing: list[str] = []
-        for key in keys:
-            slot = (kind, key)
-            entry = self._cache.get(slot)
-            if entry is not None:
-                stored_at, value = entry
-                if self.ttl_s is None or now - stored_at <= self.ttl_s:
-                    self._cache.move_to_end(slot)
-                    self.hits += 1
-                    if value is not self._MISSING:
-                        found[key] = value
-                    continue
-                del self._cache[slot]
-            self.misses += 1
-            missing.append(key)
+        hits_before = self.hits
+        with get_tracer().span("source_cache.fetch_many",
+                               source=self.name, kind=kind) as span:
+            for key in keys:
+                slot = (kind, key)
+                entry = self._cache.get(slot)
+                if entry is not None:
+                    stored_at, value = entry
+                    if self.ttl_s is None or now - stored_at <= self.ttl_s:
+                        self._cache.move_to_end(slot)
+                        self.hits += 1
+                        if value is not self._MISSING:
+                            found[key] = value
+                        continue
+                    del self._cache[slot]
+                self.misses += 1
+                missing.append(key)
+            if missing:
+                fetched = self.inner.fetch_many(kind, missing)
+                found.update(fetched)
+                stored_at = self.clock.now()
+                for key in missing:
+                    value = fetched.get(key, self._MISSING)
+                    self._store((kind, key), stored_at, value)
+            span.set("hits", self.hits - hits_before)
+            span.set("misses", len(missing))
+        metrics = get_metrics()
+        hits = self.hits - hits_before
+        if hits:
+            metrics.counter(f"source_cache.hits.{self.name}").inc(hits)
         if missing:
-            fetched = self.inner.fetch_many(kind, missing)
-            found.update(fetched)
-            stored_at = self.clock.now()
-            for key in missing:
-                value = fetched.get(key, self._MISSING)
-                self._store((kind, key), stored_at, value)
+            metrics.counter(f"source_cache.misses.{self.name}").inc(
+                len(missing)
+            )
         return found
 
     def _store(self, slot: tuple[str, str], stored_at: float,
@@ -188,6 +202,10 @@ class PrefetchingSource(SourceWrapper):
                 if len(predictions) >= self.max_prefetch:
                     break
             self.prefetched_keys += len(predictions)
+            if predictions:
+                get_metrics().counter(
+                    f"source_prefetch.keys.{self.name}"
+                ).inc(len(predictions))
         everything = self.cache.fetch_many(kind, key_list + predictions)
         return {key: everything[key] for key in key_list
                 if key in everything}
@@ -226,6 +244,9 @@ class RetryingSource(SourceWrapper):
                 failure = exc
                 if attempt + 1 < self.max_attempts:
                     self.retries += 1
+                    get_metrics().counter(
+                        f"source_retry.retries.{self.name}"
+                    ).inc()
                     if self.backoff_s:
                         self.clock.advance(self.backoff_s * (2 ** attempt))
         assert failure is not None
@@ -240,6 +261,9 @@ class RetryingSource(SourceWrapper):
                 failure = exc
                 if attempt + 1 < self.max_attempts:
                     self.retries += 1
+                    get_metrics().counter(
+                        f"source_retry.retries.{self.name}"
+                    ).inc()
                     if self.backoff_s:
                         self.clock.advance(self.backoff_s * (2 ** attempt))
         assert failure is not None

@@ -8,12 +8,12 @@ can quote the output verbatim.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import WorkloadError
+from repro.obs import WallTimer
 
 
 class TextTable:
@@ -96,9 +96,9 @@ class Measurement:
 
 def time_wall(fn: Callable[[], Any]) -> tuple[Any, float]:
     """Run *fn* once, returning (result, wall seconds)."""
-    started = time.perf_counter()
-    result = fn()
-    return result, time.perf_counter() - started
+    with WallTimer() as timer:
+        result = fn()
+    return result, timer.elapsed_s
 
 
 def speedup(baseline: float, optimized: float) -> str:

@@ -1,0 +1,158 @@
+"""EXPLAIN ANALYZE on a small fixture tree: rows, round-trips, render."""
+
+import json
+
+import pytest
+
+from repro.core import EngineConfig, QueryEngine
+from repro.obs import MetricsRegistry, Tracer
+from repro.workloads import DatasetConfig, build_dataset
+
+QUERY = "SELECT * FROM bindings WHERE p_affinity >= 6.0"
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Small world built against its own metrics registry, so the
+    integration round-trips are attributable (and isolated from other
+    test modules)."""
+    metrics = MetricsRegistry()
+    from repro import obs
+    previous = obs.get_metrics()
+    obs.set_metrics(metrics)
+    try:
+        dataset = build_dataset(DatasetConfig(n_leaves=12, n_ligands=16,
+                                              seed=7))
+        drugtree = dataset.drugtree()
+    finally:
+        obs.set_metrics(previous)
+    return dataset, drugtree, metrics
+
+
+@pytest.fixture()
+def engine(world):
+    dataset, drugtree, metrics = world
+    return QueryEngine(drugtree, metrics=metrics,
+                       tracer=Tracer(clock=dataset.clock))
+
+
+class TestRowCounts:
+    def test_actual_rows_match_execute(self, engine):
+        executed = engine.execute(QUERY)
+        report = engine.analyze(QUERY)
+        assert report.rows == len(executed.rows)
+        assert report.operators.rows_out == len(executed.rows)
+
+    def test_aggregate_query_yields_one_row(self, engine):
+        report = engine.analyze("SELECT count(*) FROM bindings")
+        assert report.rows == 1
+        assert report.operators.rows_out == 1
+        # The scan below the aggregate saw the full table.
+        scan_rows = [node.rows_out
+                     for node in self._walk(report.operators)
+                     if "Scan" in node.label]
+        assert scan_rows and max(scan_rows) > 1
+
+    def _walk(self, stats):
+        yield stats
+        for child in stats.children:
+            yield from self._walk(child)
+
+    def test_estimates_are_reported(self, engine):
+        report = engine.analyze(QUERY)
+        assert report.estimated_cost > 0
+        assert report.estimated_rows > 0
+        assert report.row_estimate_error >= 1.0
+
+
+class TestSourceRoundTrips:
+    def test_integration_totals_visible_and_execution_adds_none(
+            self, engine):
+        """The integrated overlay answers locally: the sources were hit
+        while building the world, not while running the query."""
+        report = engine.analyze(QUERY)
+        assert report.source_roundtrips, "integration recorded no sources"
+        for name, delta in report.source_roundtrips.items():
+            assert delta["total"] > 0, name
+            assert delta["during"] == 0, name
+
+    def test_roundtrip_section_renders_totals(self, engine):
+        text = engine.analyze(QUERY).render()
+        assert "-- source round-trips: " in text
+        assert "total" in text
+
+    def test_empty_registry_renders_none_recorded(self, world):
+        _, drugtree, _ = world
+        isolated = QueryEngine(drugtree, metrics=MetricsRegistry())
+        text = isolated.analyze(QUERY).render()
+        assert "-- source round-trips: none recorded" in text
+
+
+class TestRender:
+    def test_render_carries_the_contract_substrings(self, engine):
+        report = engine.analyze(QUERY)
+        text = report.render()
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "cost=" in text
+        assert "-- actual:" in text
+        assert "scanned" in text
+        assert f"{report.rows} rows" in text
+        assert "[actual rows=" in text
+        assert "-- cache: " in text
+        assert "-- estimate vs actual:" in text
+
+    def test_cache_outcome_reflects_a_warm_cache(self, engine):
+        engine.execute(QUERY)
+        report = engine.analyze(QUERY)
+        assert report.cache_outcome == \
+            "exact (result recomputed for analysis)"
+
+    def test_cache_off_is_reported(self, world):
+        _, drugtree, _ = world
+        no_cache = QueryEngine(
+            drugtree, EngineConfig(use_semantic_cache=False),
+            metrics=MetricsRegistry(),
+        )
+        report = no_cache.analyze(QUERY)
+        assert report.cache_outcome == "off (semantic cache disabled)"
+
+    def test_explain_analyze_is_the_rendered_report(self, engine):
+        assert engine.explain_analyze(QUERY).startswith("EXPLAIN ANALYZE")
+
+    def test_as_dict_round_trips_through_json(self, engine):
+        data = engine.analyze(QUERY).as_dict()
+        assert data == json.loads(json.dumps(data))
+        assert data["operators"]["rows_out"] == data["rows"]
+
+
+class TestOperatorSpans:
+    def test_analyze_emits_per_operator_spans(self, world):
+        dataset, drugtree, metrics = world
+        tracer = Tracer(clock=dataset.clock)
+        engine = QueryEngine(drugtree, metrics=metrics, tracer=tracer)
+        report = engine.analyze(QUERY)
+        op_spans = [span for span in tracer.finished_spans()
+                    if span.name.startswith("op.")]
+        assert op_spans, "no per-operator spans recorded"
+        roots = [span for span in op_spans
+                 if span.attributes["label"] == report.operators.label]
+        assert roots and roots[0].attributes["rows"] == report.rows
+
+    def test_nested_loop_inner_folds_into_one_node(self, world):
+        """A join that re-lowers its inner side per outer row must show
+        one merged stats node with a loop count, not one child per
+        rescan."""
+        dataset, drugtree, metrics = world
+        engine = QueryEngine(drugtree, metrics=metrics)
+        text = (
+            "SELECT ligand_id, organism FROM bindings, proteins "
+            "WHERE p_affinity >= 5.0"
+        )
+        report = engine.analyze(text)
+        labels = [node.label for node in self._walk(report.operators)]
+        assert len(labels) == len(set(labels)), labels
+
+    def _walk(self, stats):
+        yield stats
+        for child in stats.children:
+            yield from self._walk(child)

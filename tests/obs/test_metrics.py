@@ -1,0 +1,162 @@
+"""MetricsRegistry: counters, gauges, histogram edges, snapshots."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc()
+        assert registry.counter("hits").value == 2
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("hits")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_counter_values_filters_by_prefix(self):
+        registry = MetricsRegistry()
+        registry.counter("source.roundtrips.pdb").inc(3)
+        registry.counter("source.roundtrips.chembl").inc(2)
+        registry.counter("cache.hits").inc(9)
+        values = registry.counter_values("source.roundtrips.")
+        assert values == {
+            "source.roundtrips.pdb": 3,
+            "source.roundtrips.chembl": 2,
+        }
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("open_sessions")
+        gauge.set(3)
+        gauge.add(2)
+        gauge.add(-4)
+        assert gauge.value == 1
+
+
+class TestHistogramBucketEdges:
+    def test_value_exactly_on_an_edge_lands_in_that_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.overflow == 0
+
+    def test_value_between_edges_lands_in_the_next_bucket_up(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(3.9)
+        assert histogram.counts == [1, 1, 1]
+
+    def test_value_beyond_the_last_bound_overflows(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(2.0001)
+        histogram.observe(100.0)
+        assert histogram.counts == [0, 0]
+        assert histogram.overflow == 2
+
+    def test_stats_track_count_sum_min_max_mean(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        for value in (1.0, 3.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(9.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+        assert histogram.mean == pytest.approx(3.0)
+
+    def test_empty_histogram_has_null_extremes(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        data = histogram.as_dict()
+        assert data["min"] is None
+        assert data["max"] is None
+        assert histogram.mean == 0.0
+
+    def test_buckets_must_be_strictly_increasing(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("h", buckets=())
+
+    def test_default_bucket_sets_are_valid(self):
+        Histogram("latency", buckets=DEFAULT_LATENCY_BUCKETS_S)
+        Histogram("sizes", buckets=DEFAULT_SIZE_BUCKETS)
+
+    def test_conflicting_redefinition_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        assert registry.histogram("h").buckets == (1.0, 2.0)
+        assert registry.histogram("h", buckets=(1.0, 2.0)) is \
+            registry.histogram("h")
+        with pytest.raises(ObservabilityError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestSnapshot:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("cache.hits").inc(7)
+        registry.counter("cache.misses").inc(2)
+        registry.gauge("open_sessions").set(3)
+        histogram = registry.histogram("latency_s", buckets=(0.01, 0.1))
+        histogram.observe(0.005)
+        histogram.observe(0.25)
+        return registry
+
+    def test_snapshot_round_trips_through_json(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot == json.loads(json.dumps(snapshot))
+
+    def test_snapshot_contents(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["counters"] == {"cache.hits": 7,
+                                        "cache.misses": 2}
+        assert snapshot["gauges"] == {"open_sessions": 3}
+        histogram = snapshot["histograms"]["latency_s"]
+        assert histogram["buckets"] == [0.01, 0.1]
+        assert histogram["counts"] == [1, 0]
+        assert histogram["overflow"] == 1
+        assert histogram["count"] == 2
+
+    def test_snapshot_names_are_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta").inc()
+        registry.counter("alpha").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+
+    def test_snapshot_is_detached_from_live_state(self):
+        registry = self._populated()
+        snapshot = registry.snapshot()
+        registry.counter("cache.hits").inc(100)
+        assert snapshot["counters"]["cache.hits"] == 7
+
+    def test_reset_forgets_everything(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }

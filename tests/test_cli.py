@@ -102,3 +102,68 @@ class TestCommands:
     def test_similar_bad_smiles(self, capsys):
         assert main(["similar", "not-a-smiles", *WORLD]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    def test_explain(self, capsys):
+        assert main(["explain",
+                     "SELECT * FROM bindings WHERE p_affinity >= 6.0",
+                     *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE" in out
+        assert "cost=" in out
+        assert "[actual rows=" in out
+        assert "-- cache: " in out
+        assert "-- source round-trips: " in out
+
+    def test_explain_estimate_only(self, capsys):
+        assert main(["explain", "SELECT count(*) FROM bindings",
+                     "--estimate-only", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out
+        assert "EXPLAIN ANALYZE" not in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        assert main(["explain", "SELECT count(*) FROM bindings",
+                     "--json", *WORLD]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 1
+        assert payload["operators"]["rows_out"] == 1
+        assert payload["source_roundtrips"]
+
+    def test_explain_bad_query_is_reported_not_raised(self, capsys):
+        assert main(["explain", "SELECT nonsense_column", *WORLD]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_explain_restores_process_defaults(self):
+        from repro import obs
+        from repro.obs import NULL_TRACER
+
+        before_metrics = obs.get_metrics()
+        assert main(["explain", "SELECT count(*) FROM bindings",
+                     *WORLD]) == 0
+        assert obs.get_tracer() is NULL_TRACER
+        assert obs.get_metrics() is before_metrics
+
+    def test_stats(self, capsys):
+        assert main(["stats", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "Counters" in out
+        assert "query.executed" in out
+        assert "semantic_cache." in out
+        assert "source.roundtrips." in out
+        assert "mobile.open_sessions" in out
+        assert "Histograms" in out
+        assert "Spans" in out
+
+    def test_stats_json(self, capsys):
+        import json
+
+        assert main(["stats", "--json", *WORLD]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["query.executed"] >= 4
+        assert "spans" in payload
+        assert any(name.startswith("query.")
+                   for name in payload["spans"])
