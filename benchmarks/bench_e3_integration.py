@@ -69,6 +69,57 @@ def test_e3_integration_modes(benchmark, report):
     assert gaps == sorted(gaps)
 
 
+def test_e3_concurrent_overlap(benchmark, report):
+    """Sequential (batched) vs concurrent scheduler-driven fetching.
+
+    Same batch shapes, same round-trips — the only difference is that
+    the concurrent mode fans the three sources (and the pages within a
+    batch) out through the FetchScheduler, so overlapping round-trips
+    cost ``max`` instead of ``sum`` of their virtual latencies.
+    """
+    table = TextTable(
+        ["source RTT ms", "mode", "round-trips",
+         "simulated latency s", "overlap saved s", "latency speedup"],
+        title=(f"E3b  concurrent fetch of a {N_LEAVES}-leaf family "
+               "from 3 sources"),
+    )
+
+    def sweep():
+        rows = []
+        for rtt in SOURCE_RTTS:
+            measurements = {}
+            for mode in ("batched", "concurrent"):
+                dataset = _fresh_world(rtt)
+                pipeline = IntegrationPipeline(dataset.registry,
+                                               mode=mode)
+                _, result = pipeline.build_drugtree(dataset.tree)
+                measurements[mode] = result
+            slow = measurements["batched"]
+            fast = measurements["concurrent"]
+            rows.append((rtt * 1000, "batched", slow.roundtrips,
+                         slow.virtual_latency_s, 0.0, ""))
+            rows.append((rtt * 1000, "concurrent", fast.roundtrips,
+                         fast.virtual_latency_s,
+                         fast.overlap_saved_s,
+                         speedup(slow.virtual_latency_s,
+                                 fast.virtual_latency_s)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for row in rows:
+        table.add_row(*row)
+    report(table)
+
+    # Acceptance shape: round-trips unchanged (or lower), virtual
+    # latency at least halved at every RTT point.
+    batched = [row for row in rows if row[1] == "batched"]
+    concurrent = [row for row in rows if row[1] == "concurrent"]
+    for fast, slow in zip(concurrent, batched):
+        assert fast[2] <= slow[2]
+        assert fast[3] * 2 <= slow[3]
+        assert fast[4] > 0
+
+
 def test_e3_batched_integration_wall_time(benchmark):
     """pytest-benchmark wall numbers for one batched integration."""
     dataset = _fresh_world(0.05)

@@ -29,6 +29,7 @@ from collections.abc import Sequence
 from repro import obs
 from repro.core import NaiveEngine, QueryEngine
 from repro.errors import DrugTreeError
+from repro.sources import KIND_ANNOTATION, KIND_PROTEIN, FetchScheduler
 from repro.mobile import (
     DrugTreeServer,
     MobileClient,
@@ -126,7 +127,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         tracer = obs.Tracer(clock=dataset.clock)
         obs.set_tracer(tracer)
         drugtree = dataset.drugtree()
-        engine = QueryEngine(drugtree)
+        engine = QueryEngine(drugtree,
+                             federation=FetchScheduler(dataset.registry))
         if args.estimate_only:
             print(engine.explain(args.dtql))
             return 0
@@ -146,10 +148,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         tracer = obs.Tracer(clock=dataset.clock)
         obs.set_tracer(tracer)
         drugtree = dataset.drugtree()
-        engine = QueryEngine(drugtree)
+        scheduler = FetchScheduler(dataset.registry)
+        engine = QueryEngine(drugtree, federation=scheduler)
 
         # A representative session: repeated + narrowing queries (cache
-        # traffic), one similarity probe, and a short mobile replay.
+        # traffic), one remote-detail projection (scheduler traffic),
+        # and a short mobile replay with viewport prefetch.
         clade = dataset.family.clade_names[0]
         queries = [
             "SELECT count(*) FROM bindings",
@@ -158,14 +162,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"SELECT * FROM bindings WHERE p_affinity >= 7.0 "
             f"IN SUBTREE '{clade}'",
             "SELECT count(*) FROM bindings",
+            "SELECT protein_id, method FROM proteins",
         ]
         for dtql in queries:
             engine.execute(dtql)
-        server = DrugTreeServer(drugtree, ServerConfig())
+        server = DrugTreeServer(drugtree, ServerConfig(),
+                                federation=scheduler)
         session_id, _ = server.open_session()
         for focus in dataset.family.clade_names[:3]:
             server.navigate(session_id, focus)
         server.close_session(session_id)
+        # Two clients landing on the same viewport at once: the second
+        # client's identical pull coalesces onto the in-flight one.
+        visible = list(dataset.family.protein_ids[:16])
+        scheduler.fetch_all([
+            (KIND_PROTEIN, visible),
+            (KIND_ANNOTATION, visible),
+            (KIND_PROTEIN, visible),
+        ])
 
         snapshot = metrics.snapshot()
         if args.json:

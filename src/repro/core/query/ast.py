@@ -46,6 +46,17 @@ for _table, _schema in _SCHEMAS.items():
         COLUMN_OWNERS.setdefault(_column, ())
         COLUMN_OWNERS[_column] = COLUMN_OWNERS[_column] + (_table,)
 
+#: Detail columns that are *not* materialized in the overlay: selecting
+#: one makes the executor fetch the backing record from the federation
+#: at run time (through the engine's fetch scheduler). Maps the column
+#: to ``(record kind, record attribute, owner table)``; all current
+#: remote details are keyed by ``protein_id``.
+REMOTE_DETAIL_COLUMNS: dict[str, tuple[str, str, str]] = {
+    "method": ("protein", "method", PROTEINS_TABLE),
+    "go_terms": ("annotation", "go_terms", PROTEINS_TABLE),
+    "keywords": ("annotation", "keywords", PROTEINS_TABLE),
+}
+
 
 @dataclass(frozen=True)
 class Comparison:
@@ -290,7 +301,8 @@ class Query:
         if self.limit is not None and self.limit < 1:
             raise QueryError("limit must be positive")
         for column in self.select:
-            if column not in COLUMN_OWNERS:
+            if (column not in COLUMN_OWNERS
+                    and column not in REMOTE_DETAIL_COLUMNS):
                 raise QueryError(f"unknown column {column!r}")
         if self.order_by is not None:
             valid = set(self.select) | {
@@ -326,7 +338,12 @@ class Query:
         """
         needed: set[str] = set(self.from_tables)
         for column in self.referenced_columns():
-            owners = COLUMN_OWNERS[column]
+            owners = COLUMN_OWNERS.get(column)
+            if owners is None:
+                # Remote detail columns anchor to their owner table so
+                # the join produces the key the runtime fetch needs.
+                needed.add(REMOTE_DETAIL_COLUMNS[column][2])
+                continue
             if len(owners) == 1:
                 needed.add(owners[0])
         if self.similar is not None or self.substructure is not None:
@@ -339,7 +356,9 @@ class Query:
         # A referenced shared-key column must still be readable: if none
         # of its owners made it into the set, pull one in.
         for column in self.referenced_columns():
-            owners = COLUMN_OWNERS[column]
+            owners = COLUMN_OWNERS.get(column)
+            if owners is None:
+                continue  # remote detail: owner table already added
             if not set(owners) & needed:
                 needed.add(BINDINGS_TABLE if BINDINGS_TABLE in owners
                            else owners[0])
@@ -349,6 +368,11 @@ class Query:
             needed.add(BINDINGS_TABLE)
         order = (BINDINGS_TABLE, PROTEINS_TABLE, LIGANDS_TABLE)
         return tuple(t for t in order if t in needed)
+
+    def remote_columns(self) -> tuple[str, ...]:
+        """Selected columns that require a run-time federation fetch."""
+        return tuple(c for c in self.select
+                     if c in REMOTE_DETAIL_COLUMNS)
 
     def without_order_and_limit(self) -> "Query":
         return replace(self, order_by=None, limit=None)

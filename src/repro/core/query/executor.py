@@ -17,6 +17,7 @@ from repro.chem.smiles import parse_smiles
 from repro.core.drugtree import DrugTree
 from repro.chem.substructure import SubstructurePattern, filter_library
 from repro.core.query.ast import (
+    REMOTE_DETAIL_COLUMNS,
     Query,
     SimilarityFilter,
     SubstructureFilter,
@@ -49,6 +50,7 @@ from repro.core.query.physical import (
     NestedLoopJoinOp,
     PhysicalOp,
     ProjectOp,
+    RemoteFetchOp,
     SeqScanOp,
     SortOp,
     StaticRowsOp,
@@ -80,6 +82,9 @@ class EngineConfig:
     join_strategy: str = "dp"
     join_method: str = "hash"
     cache_capacity: int = 128
+    #: Rows buffered per scatter/gather batch when a query projects
+    #: remote detail columns (see REMOTE_DETAIL_COLUMNS).
+    remote_lookahead: int = 64
 
     def planner_config(self) -> PlannerConfig:
         return PlannerConfig(
@@ -124,9 +129,13 @@ class QueryEngine:
     def __init__(self, drugtree: DrugTree,
                  config: EngineConfig | None = None,
                  tracer=None,
-                 metrics=None) -> None:
+                 metrics=None,
+                 federation=None) -> None:
         self.drugtree = drugtree
         self.config = config or EngineConfig()
+        #: Optional :class:`~repro.sources.scheduler.FetchScheduler`;
+        #: required only for queries projecting remote detail columns.
+        self.federation = federation
         self.planner = Planner(
             tables=drugtree.tables,
             labeling=drugtree.labeling,
@@ -259,6 +268,7 @@ class QueryEngine:
                                      probe=root, clock=clock)
 
         before = metrics.counter_values("source.roundtrips.")
+        scheduler_before = metrics.counter_values("scheduler.")
         virtual_before = clock.now() if clock is not None else 0.0
         with tracer.span("query.explain_analyze") as span, \
                 WallTimer() as timer:
@@ -267,6 +277,12 @@ class QueryEngine:
         virtual_s = (clock.now() - virtual_before
                      if clock is not None else 0.0)
         after = metrics.counter_values("source.roundtrips.")
+        scheduler_after = metrics.counter_values("scheduler.")
+        federation = {
+            name: round(total - scheduler_before.get(name, 0), 6)
+            for name, total in scheduler_after.items()
+            if total - scheduler_before.get(name, 0)
+        }
 
         prefix = "source.roundtrips."
         source_roundtrips = {
@@ -290,6 +306,7 @@ class QueryEngine:
             cache_outcome=cache_outcome,
             counters=counters.snapshot(),
             source_roundtrips=source_roundtrips,
+            federation=federation,
         )
 
     def explain_analyze(self, query: Query | str) -> str:
@@ -416,6 +433,10 @@ class QueryEngine:
             return FilterOp(counters, child, node.conditions)
         if isinstance(node, LogicalProject):
             child = self._to_physical(node.child, counters, stats, clock)
+            remote = tuple(c for c in node.columns
+                           if c in REMOTE_DETAIL_COLUMNS)
+            if remote:
+                child = self._remote_fetch_op(remote, child, counters)
             return ProjectOp(counters, child, node.columns)
         if isinstance(node, LogicalOrder):
             child = self._to_physical(node.child, counters, stats, clock)
@@ -426,6 +447,24 @@ class QueryEngine:
             child = self._to_physical(node.child, counters, stats, clock)
             return LimitOp(counters, child, node.limit)
         raise PlanError(f"cannot lower {type(node).__name__}")
+
+    def _remote_fetch_op(self, remote: tuple[str, ...],
+                         child: PhysicalOp,
+                         counters: ExecCounters) -> PhysicalOp:
+        if self.federation is None:
+            raise QueryError(
+                f"columns {sorted(remote)} live at the remote sources; "
+                "construct the engine with federation=FetchScheduler(...)"
+            )
+        specs = tuple(
+            (column,
+             REMOTE_DETAIL_COLUMNS[column][0],
+             REMOTE_DETAIL_COLUMNS[column][1])
+            for column in remote
+        )
+        return RemoteFetchOp(counters, child, self.federation,
+                             "protein_id", specs,
+                             lookahead=self.config.remote_lookahead)
 
     def _scan_op(self, node: LogicalScan,
                  counters: ExecCounters) -> PhysicalOp:

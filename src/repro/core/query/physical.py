@@ -364,6 +364,65 @@ class LimitOp(PhysicalOp):
             yield record
 
 
+class RemoteFetchOp(PhysicalOp):
+    """Enrich rows with remote detail columns via the fetch scheduler.
+
+    Buffers ``lookahead`` child rows at a time, collects their distinct
+    keys, and issues *one* scatter/gather batch per buffer: every
+    record kind the projected detail columns need is fetched in the
+    same :meth:`FetchScheduler.fetch_all` call, so round-trips to
+    different sources overlap and repeated keys coalesce. Rows whose
+    record is missing at the source get ``None`` details.
+    """
+
+    def __init__(self, counters: ExecCounters, child: PhysicalOp,
+                 scheduler, key_column: str,
+                 specs: tuple[tuple[str, str, str], ...],
+                 lookahead: int = 64) -> None:
+        if lookahead < 1:
+            raise QueryError("remote fetch lookahead must be positive")
+        super().__init__(counters)
+        self.child = child
+        self.scheduler = scheduler
+        self.key_column = key_column
+        #: (output column, record kind, record attribute) triples.
+        self.specs = specs
+        self.lookahead = lookahead
+        self.batches = 0
+        self.keys_fetched = 0
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        buffer: list[dict[str, Any]] = []
+        for record in self.child.rows():
+            buffer.append(record)
+            if len(buffer) >= self.lookahead:
+                yield from self._flush(buffer)
+                buffer = []
+        if buffer:
+            yield from self._flush(buffer)
+
+    def _flush(self, buffer: list[dict[str, Any]],
+               ) -> Iterator[dict[str, Any]]:
+        keys = sorted({
+            record[self.key_column] for record in buffer
+            if record.get(self.key_column) is not None
+        })
+        kinds = sorted({kind for _, kind, _ in self.specs})
+        fetched = self.scheduler.fetch_all(
+            [(kind, keys) for kind in kinds]
+        )
+        self.batches += 1
+        self.keys_fetched += len(keys)
+        for record in buffer:
+            key = record.get(self.key_column)
+            for column, kind, attribute in self.specs:
+                remote = fetched.get(kind, {}).get(key)
+                record[column] = (getattr(remote, attribute, None)
+                                  if remote is not None else None)
+            self.counters.rows_emitted += 1
+            yield record
+
+
 class EmptyOp(PhysicalOp):
     def rows(self) -> Iterator[dict[str, Any]]:
         return iter(())

@@ -20,6 +20,8 @@ from repro.errors import MobileError
 from repro.mobile.lod import render_full, render_viewport
 from repro.mobile.protocol import Message, delta_message, full_message
 from repro.obs import WallTimer, get_metrics, get_tracer
+from repro.sources.annotation import KIND_ANNOTATION
+from repro.sources.protein import KIND_PROTEIN
 
 
 @dataclass(frozen=True)
@@ -31,6 +33,12 @@ class ServerConfig:
     compress: bool = True
     lod_max_depth: int = 3
     lod_max_nodes: int = 200
+    #: Prefetch remote details for visible leaves on every render
+    #: (needs a federation scheduler on the server).
+    prefetch_details: bool = True
+    #: Detail records retained before the prefetch cache drops the
+    #: oldest entries.
+    detail_cache_capacity: int = 4096
     engine: EngineConfig = field(default_factory=EngineConfig)
 
 
@@ -54,13 +62,22 @@ class DrugTreeServer:
     """Serves viewport renders and DTQL queries to mobile clients."""
 
     def __init__(self, drugtree: DrugTree,
-                 config: ServerConfig | None = None) -> None:
+                 config: ServerConfig | None = None,
+                 federation=None) -> None:
         self.drugtree = drugtree
         self.config = config or ServerConfig()
-        self.engine = QueryEngine(drugtree, self.config.engine)
+        #: Optional :class:`~repro.sources.scheduler.FetchScheduler`;
+        #: enables viewport detail prefetch and remote detail columns
+        #: in DTQL queries.
+        self.federation = federation
+        self.engine = QueryEngine(drugtree, self.config.engine,
+                                  federation=federation)
         self._sessions: dict[str, _Session] = {}
         self._session_counter = itertools.count()
         self._root_name = self._pick_root_name()
+        #: protein_id -> merged detail record, filled by the viewport
+        #: prefetch so a details tap is served without a round-trip.
+        self._details: dict[str, dict[str, Any]] = {}
 
     def _pick_root_name(self) -> str:
         root = self.drugtree.tree.root
@@ -175,7 +192,86 @@ class DrugTreeServer:
             payload_rows=len(hits),
         ))
 
+    def protein_details(self, session_id: str,
+                        protein_id: str) -> ServerResponse:
+        """Serve one protein's remote detail card (the details tap).
+
+        Normally a cache hit: the viewport prefetch already pulled the
+        structure and annotation records for every visible leaf. A miss
+        (protein outside the rendered viewport) fetches on demand.
+        """
+        self._session(session_id)  # validates
+        if self.federation is None:
+            raise MobileError(
+                "protein details need a federation scheduler "
+                "(construct the server with federation=...)"
+            )
+        metrics = get_metrics()
+        with get_tracer().span("mobile.protein_details",
+                               session=session_id) as span, \
+                WallTimer() as timer:
+            details = self._details.get(protein_id)
+            if details is None:
+                metrics.counter("mobile.prefetch.misses").inc()
+                self._prefetch_details([protein_id])
+                details = self._details.get(protein_id)
+            else:
+                metrics.counter("mobile.prefetch.hits").inc()
+            if details is None:
+                raise MobileError(
+                    f"no source has details for {protein_id!r}"
+                )
+            message = full_message({"protein_id": protein_id,
+                                    "details": details},
+                                   compress=self.config.compress)
+            span.set("wire_bytes", message.wire_bytes)
+        return self._account("protein_details", ServerResponse(
+            message=message,
+            server_wall_s=timer.elapsed_s,
+            payload_rows=1,
+        ))
+
     # -- rendering ------------------------------------------------------------------
+
+    def _visible_leaves(self, payload: dict[str, Any]) -> list[str]:
+        return [
+            entry["name"]
+            for entry in payload.get("nodes", {}).values()
+            if entry.get("leaf") and entry.get("name")
+        ]
+
+    def _prefetch_details(self, protein_ids: list[str]) -> None:
+        """Overlap protein + annotation pulls for the given leaves."""
+        wanted = [pid for pid in protein_ids if pid not in self._details]
+        if not wanted:
+            return
+        metrics = get_metrics()
+        metrics.counter("mobile.prefetch.batches").inc()
+        metrics.counter("mobile.prefetch.keys").inc(len(wanted))
+        fetched = self.federation.fetch_all([
+            (KIND_PROTEIN, wanted),
+            (KIND_ANNOTATION, wanted),
+        ])
+        proteins = fetched.get(KIND_PROTEIN, {})
+        annotations = fetched.get(KIND_ANNOTATION, {})
+        for pid in wanted:
+            entry = proteins.get(pid)
+            annotation = annotations.get(pid)
+            if entry is None and annotation is None:
+                continue
+            self._details[pid] = {
+                "method": getattr(entry, "method", None),
+                "resolution": getattr(entry, "resolution_angstrom",
+                                      None),
+                "organism": getattr(entry, "organism", None),
+                "go_terms": list(getattr(annotation, "go_terms",
+                                         ()) or ()),
+                "keywords": list(getattr(annotation, "keywords",
+                                         ()) or ()),
+                "ec_number": getattr(annotation, "ec_number", None),
+            }
+        while len(self._details) > self.config.detail_cache_capacity:
+            self._details.pop(next(iter(self._details)))
 
     def _render(self, session: _Session, focus: str) -> ServerResponse:
         with get_tracer().span("mobile.render", focus=focus) as span, \
@@ -188,6 +284,9 @@ class DrugTreeServer:
                 )
             else:
                 payload = render_full(self.drugtree)
+            if (self.federation is not None
+                    and self.config.prefetch_details):
+                self._prefetch_details(self._visible_leaves(payload))
             if self.config.use_delta and session.last_payload is not None:
                 # Adaptive framing: a big viewport jump can make the
                 # delta larger than the fresh payload — ship whichever

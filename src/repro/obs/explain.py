@@ -124,6 +124,10 @@ class AnalyzeReport:
     source_roundtrips: dict[str, dict[str, float]] = field(
         default_factory=dict
     )
+    #: Fetch-scheduler counter deltas during this execution (pages
+    #: dispatched, coalesced requests, virtual seconds saved by
+    #: overlap); empty when the query never touched the federation.
+    federation: dict[str, float] = field(default_factory=dict)
 
     @property
     def row_estimate_error(self) -> float:
@@ -165,6 +169,13 @@ class AnalyzeReport:
             lines.append("-- source round-trips: " + "; ".join(parts))
         else:
             lines.append("-- source round-trips: none recorded")
+        if self.federation:
+            parts = [
+                f"{name.removeprefix('scheduler.')}="
+                f"{value:g}"
+                for name, value in sorted(self.federation.items())
+            ]
+            lines.append("-- fetch scheduler: " + ", ".join(parts))
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
@@ -181,5 +192,6 @@ class AnalyzeReport:
                 name: dict(delta)
                 for name, delta in self.source_roundtrips.items()
             },
+            "federation": dict(self.federation),
             "operators": self.operators.as_dict(),
         }

@@ -13,6 +13,7 @@ so call sites never coordinate registration order.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any
 
@@ -132,30 +133,43 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        # Get-or-create must hand every thread the *same* instrument:
+        # two scheduler workers racing to create "scheduler.retries"
+        # would otherwise each keep a private Counter and lose counts.
+        self._create_lock = threading.Lock()
 
     # -- get-or-create ------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with self._create_lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name)
         return counter
 
     def gauge(self, name: str) -> Gauge:
         gauge = self._gauges.get(name)
         if gauge is None:
-            gauge = self._gauges[name] = Gauge(name)
+            with self._create_lock:
+                gauge = self._gauges.get(name)
+                if gauge is None:
+                    gauge = self._gauges[name] = Gauge(name)
         return gauge
 
     def histogram(self, name: str,
                   buckets: tuple[float, ...] | None = None) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(
-                name, buckets if buckets is not None
-                else DEFAULT_LATENCY_BUCKETS_S,
-            )
-        elif buckets is not None and tuple(buckets) != histogram.buckets:
+            with self._create_lock:
+                histogram = self._histograms.get(name)
+                if histogram is None:
+                    histogram = self._histograms[name] = Histogram(
+                        name, buckets if buckets is not None
+                        else DEFAULT_LATENCY_BUCKETS_S,
+                    )
+        if buckets is not None and tuple(buckets) != histogram.buckets:
             raise ObservabilityError(
                 f"histogram {name!r} already exists with different buckets"
             )

@@ -27,6 +27,7 @@ paths cost a method call and nothing else until somebody opts in
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from typing import Any
 
@@ -162,10 +163,22 @@ class Tracer:
         self.clock = clock
         self.capacity = capacity
         self._finished: deque[Span] = deque(maxlen=capacity)
-        self._stack: list[Span] = []
+        # Span nesting is per thread: the fetch scheduler opens spans
+        # from pool workers, and those must not interleave with (or
+        # corrupt) the main thread's open-span stack. The ring buffer
+        # and id counter stay shared, guarded by one lock.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._ids = 0
         self.started = 0
         self.dropped = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- span lifecycle -----------------------------------------------------
 
@@ -196,9 +209,10 @@ class Tracer:
         return span
 
     def _next_id(self) -> int:
-        self._ids += 1
-        self.started += 1
-        return self._ids
+        with self._lock:
+            self._ids += 1
+            self.started += 1
+            return self._ids
 
     def _push(self, span: Span) -> None:
         if self._stack:
@@ -216,9 +230,10 @@ class Tracer:
 
     def _finish(self, span: Span) -> None:
         span.finished = True
-        if len(self._finished) == self._finished.maxlen:
-            self.dropped += 1
-        self._finished.append(span)
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
 
     # -- inspection ---------------------------------------------------------
 
@@ -227,6 +242,7 @@ class Tracer:
         return list(self._finished)
 
     def active_depth(self) -> int:
+        """Open-span nesting depth of the *calling* thread."""
         return len(self._stack)
 
     def export(self) -> list[dict[str, Any]]:

@@ -26,7 +26,12 @@ from repro.sources.base import (
     SourceStats,
     TableBackedSource,
 )
-from repro.sources.clock import SimulatedClock, Stopwatch
+from repro.sources.clock import (
+    ParallelRegion,
+    SimulatedClock,
+    Stopwatch,
+    TaskTimeline,
+)
 from repro.sources.protein import (
     KIND_PROTEIN,
     KIND_PROTEINS_BY_ORGANISM,
@@ -34,6 +39,7 @@ from repro.sources.protein import (
     ProteinStructureSource,
 )
 from repro.sources.registry import SourceRegistry
+from repro.sources.scheduler import FetchScheduler, SchedulerStats
 from repro.sources.wrappers import (
     CachingSource,
     PrefetchingSource,
@@ -55,16 +61,20 @@ __all__ = [
     "CompoundEntry",
     "DataSource",
     "FaultModel",
+    "FetchScheduler",
     "LatencyModel",
     "LigandActivitySource",
+    "ParallelRegion",
     "PrefetchingSource",
     "ProteinEntry",
     "ProteinStructureSource",
     "RetryingSource",
+    "SchedulerStats",
     "SimulatedClock",
     "SourceRegistry",
     "SourceStats",
     "SourceWrapper",
     "Stopwatch",
     "TableBackedSource",
+    "TaskTimeline",
 ]

@@ -23,6 +23,7 @@ generic.
 from __future__ import annotations
 
 import random
+import threading
 from abc import ABC, abstractmethod
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -136,6 +137,10 @@ class DataSource(ABC):
         self.stats = SourceStats()
         self._window_start = clock.now()
         self._window_calls = 0
+        # The fetch scheduler dispatches round-trips from worker
+        # threads; the meters, rate-limit window, and fault/latency RNGs
+        # are shared state and need one lock.
+        self._meter_lock = threading.Lock()
 
     # -- protocol -------------------------------------------------------
 
@@ -161,10 +166,14 @@ class DataSource(ABC):
         """
         self._check_kind(kind)
         key_list = list(keys)
+        if not key_list:
+            # Nothing to ask for: a real client never issues the
+            # round-trip, so neither do we (no page, no charge).
+            return {}
         found: dict[str, object] = {}
         with get_tracer().span("source.fetch_many", source=self.name,
                                kind=kind, keys=len(key_list)) as span:
-            for start in range(0, max(len(key_list), 1), self.page_size):
+            for start in range(0, len(key_list), self.page_size):
                 page = key_list[start:start + self.page_size]
                 records = self._lookup(kind, page)
                 self._charge(len(records), len(page))
@@ -182,7 +191,7 @@ class DataSource(ABC):
         all_keys = self._all_keys(kind)
         with get_tracer().span("source.scan_keys", source=self.name,
                                kind=kind, keys=len(all_keys)):
-            for start in range(0, max(len(all_keys), 1), self.page_size):
+            for start in range(0, len(all_keys), self.page_size):
                 page = all_keys[start:start + self.page_size]
                 self._charge(len(page), len(page))
         return all_keys
@@ -196,26 +205,32 @@ class DataSource(ABC):
             )
 
     def _charge(self, records: int, requested: int) -> None:
-        self._enforce_rate_limit()
-        cost = self.latency.sample(records)
-        self.clock.advance(cost)
-        self.stats.roundtrips += 1
-        self.stats.records_returned += records
-        self.stats.keys_requested += requested
-        self.stats.virtual_latency_s += cost
         metrics = get_metrics()
-        metrics.counter(f"source.roundtrips.{self.name}").inc()
-        metrics.counter(f"source.records.{self.name}").inc(records)
-        metrics.counter(f"source.virtual_s.{self.name}").inc(cost)
-        metrics.histogram("source.roundtrip_latency_s").observe(cost)
-        if self.faults.draw_failure():
-            self.stats.errors += 1
-            metrics.counter(f"source.errors.{self.name}").inc()
+        with self._meter_lock:
+            self._enforce_rate_limit(metrics)
+            cost = self.latency.sample(records)
+            failed = self.faults.draw_failure()
+            self.stats.roundtrips += 1
+            self.stats.records_returned += records
+            self.stats.keys_requested += requested
+            self.stats.virtual_latency_s += cost
+            metrics.counter(f"source.roundtrips.{self.name}").inc()
+            metrics.counter(f"source.records.{self.name}").inc(records)
+            metrics.counter(f"source.virtual_s.{self.name}").inc(cost)
+            metrics.histogram("source.roundtrip_latency_s").observe(cost)
+            if failed:
+                self.stats.errors += 1
+                metrics.counter(f"source.errors.{self.name}").inc()
+        # The clock advance happens outside the meter lock: under a
+        # parallel region it only touches the calling thread's timeline.
+        self.clock.advance(cost)
+        if failed:
             raise SourceUnavailableError(
                 f"source {self.name!r} timed out (simulated)"
             )
 
-    def _enforce_rate_limit(self) -> None:
+    def _enforce_rate_limit(self, metrics) -> None:
+        """Check/advance the rate-limit window (meter lock held)."""
         limit = self.faults.max_calls_per_window
         if limit is None:
             return
@@ -225,7 +240,7 @@ class DataSource(ABC):
             self._window_calls = 0
         if self._window_calls >= limit:
             self.stats.errors += 1
-            get_metrics().counter(f"source.rate_limited.{self.name}").inc()
+            metrics.counter(f"source.rate_limited.{self.name}").inc()
             raise RateLimitError(
                 f"source {self.name!r} rate limit of {limit} calls per "
                 f"{self.faults.window_s}s exceeded"

@@ -17,6 +17,7 @@ All wrappers implement the same uniform protocol as
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Callable, Iterable
 
@@ -42,6 +43,10 @@ class SourceWrapper:
     @property
     def stats(self):
         return self.inner.stats
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
 
     def kinds(self) -> frozenset[str]:
         return self.inner.kinds()
@@ -84,40 +89,48 @@ class CachingSource(SourceWrapper):
         self._cache: OrderedDict[tuple[str, str], tuple[float, object]] = (
             OrderedDict()
         )
+        # The scheduler may fetch through one cache from several worker
+        # threads at once; the LRU dict (and hit/miss meters) mutate
+        # under this lock. Round-trips to the inner source deliberately
+        # happen *outside* it so concurrent misses still overlap.
+        self._cache_lock = threading.RLock()
 
     def fetch_many(self, kind: str,
                    keys: Iterable[str]) -> dict[str, object]:
-        now = self.clock.now()
         found: dict[str, object] = {}
         missing: list[str] = []
-        hits_before = self.hits
+        hits = 0
         with get_tracer().span("source_cache.fetch_many",
                                source=self.name, kind=kind) as span:
-            for key in keys:
-                slot = (kind, key)
-                entry = self._cache.get(slot)
-                if entry is not None:
-                    stored_at, value = entry
-                    if self.ttl_s is None or now - stored_at <= self.ttl_s:
-                        self._cache.move_to_end(slot)
-                        self.hits += 1
-                        if value is not self._MISSING:
-                            found[key] = value
-                        continue
-                    del self._cache[slot]
-                self.misses += 1
-                missing.append(key)
+            with self._cache_lock:
+                now = self.clock.now()
+                for key in keys:
+                    slot = (kind, key)
+                    entry = self._cache.get(slot)
+                    if entry is not None:
+                        stored_at, value = entry
+                        if (self.ttl_s is None
+                                or now - stored_at <= self.ttl_s):
+                            self._cache.move_to_end(slot)
+                            hits += 1
+                            if value is not self._MISSING:
+                                found[key] = value
+                            continue
+                        del self._cache[slot]
+                    missing.append(key)
+                self.hits += hits
+                self.misses += len(missing)
             if missing:
                 fetched = self.inner.fetch_many(kind, missing)
                 found.update(fetched)
-                stored_at = self.clock.now()
-                for key in missing:
-                    value = fetched.get(key, self._MISSING)
-                    self._store((kind, key), stored_at, value)
-            span.set("hits", self.hits - hits_before)
+                with self._cache_lock:
+                    stored_at = self.clock.now()
+                    for key in missing:
+                        value = fetched.get(key, self._MISSING)
+                        self._store((kind, key), stored_at, value)
+            span.set("hits", hits)
             span.set("misses", len(missing))
         metrics = get_metrics()
-        hits = self.hits - hits_before
         if hits:
             metrics.counter(f"source_cache.hits.{self.name}").inc(hits)
         if missing:
@@ -135,19 +148,22 @@ class CachingSource(SourceWrapper):
 
     def peek(self, kind: str, key: str) -> bool:
         """True if the key is cached and fresh (no hit/miss accounting)."""
-        entry = self._cache.get((kind, key))
-        if entry is None:
-            return False
-        stored_at, _ = entry
-        return self.ttl_s is None or self.clock.now() - stored_at <= self.ttl_s
+        with self._cache_lock:
+            entry = self._cache.get((kind, key))
+            if entry is None:
+                return False
+            stored_at, _ = entry
+            return (self.ttl_s is None
+                    or self.clock.now() - stored_at <= self.ttl_s)
 
     def invalidate(self, kind: str | None = None) -> None:
         """Drop cached entries (all, or one kind's)."""
-        if kind is None:
-            self._cache.clear()
-            return
-        for slot in [s for s in self._cache if s[0] == kind]:
-            del self._cache[slot]
+        with self._cache_lock:
+            if kind is None:
+                self._cache.clear()
+                return
+            for slot in [s for s in self._cache if s[0] == kind]:
+                del self._cache[slot]
 
     @property
     def hit_rate(self) -> float:

@@ -301,3 +301,47 @@ class TestAblations:
         clade = drugtree.tree.root.children[0].name
         text = f"SELECT * FROM bindings IN SUBTREE '{clade}'"
         self.test_configs_agree(drugtree, text)
+
+
+class TestRemoteDetailColumns:
+    """Detail columns resolved through the federation scheduler."""
+
+    @pytest.fixture
+    def federated_engine(self, dataset, drugtree):
+        from repro.sources import FetchScheduler
+
+        scheduler = FetchScheduler(dataset.registry)
+        engine = QueryEngine(drugtree, federation=scheduler)
+        return engine, scheduler
+
+    def test_remote_column_needs_federation(self, drugtree):
+        engine = QueryEngine(drugtree)
+        with pytest.raises(QueryError, match="federation"):
+            engine.execute("SELECT protein_id, method FROM proteins")
+
+    def test_remote_columns_merged_into_rows(self, federated_engine):
+        engine, scheduler = federated_engine
+        result = engine.execute(
+            "SELECT protein_id, organism, method, go_terms "
+            "FROM proteins"
+        )
+        assert result.rows
+        assert all(row["method"] for row in result.rows)
+        assert all(isinstance(row["go_terms"], (list, tuple))
+                   for row in result.rows)
+        # One overlapped batch resolved both remote kinds.
+        assert scheduler.stats.batches == 1
+
+    def test_analyze_reports_scheduler_work(self, federated_engine):
+        engine, _ = federated_engine
+        report = engine.analyze(
+            "SELECT protein_id, method FROM proteins LIMIT 5"
+        )
+        assert report.federation
+        assert "scheduler.batches" in report.federation
+        assert "fetch scheduler" in report.render()
+
+    def test_local_queries_skip_the_scheduler(self, federated_engine):
+        engine, scheduler = federated_engine
+        engine.execute("SELECT protein_id, organism FROM proteins")
+        assert scheduler.stats.batches == 0

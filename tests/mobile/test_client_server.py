@@ -189,3 +189,71 @@ class TestGestureWorkload:
     def test_invalid_plans_rejected(self, dataset):
         with pytest.raises(MobileError):
             plan_session(0)
+
+
+class TestDetailPrefetch:
+    """Viewport prefetch and the protein-details tap."""
+
+    def _federated_server(self, dataset, drugtree, config=None):
+        from repro.sources import FetchScheduler
+
+        scheduler = FetchScheduler(dataset.registry)
+        server = DrugTreeServer(drugtree, config,
+                                federation=scheduler)
+        return server, scheduler
+
+    def test_details_need_federation(self, dataset, drugtree):
+        server = DrugTreeServer(drugtree)
+        session_id, _ = server.open_session()
+        with pytest.raises(MobileError, match="federation"):
+            server.protein_details(session_id,
+                                   dataset.family.protein_ids[0])
+
+    def test_render_prefetches_visible_leaves(self, dataset, drugtree):
+        server, scheduler = self._federated_server(dataset, drugtree)
+        session_id, response = server.open_session()
+        visible = server._visible_leaves(response.message.payload())
+        if not visible:  # initial viewport may be all clades; zoom in
+            nodes = response.message.payload()["nodes"]
+            focus = next(name for name, entry in nodes.items()
+                         if not entry.get("leaf"))
+            response = server.navigate(session_id, focus)
+            visible = server._visible_leaves(
+                response.message.payload()
+            )
+        assert visible
+        assert scheduler.stats.batches >= 1
+        assert all(pid in server._details for pid in visible)
+
+    def test_details_tap_hits_prefetch_cache(self, dataset, drugtree):
+        server, scheduler = self._federated_server(dataset, drugtree)
+        session_id, _ = server.open_session()
+        cached = next(iter(server._details), None)
+        assert cached is not None
+        batches_before = scheduler.stats.batches
+        response = server.protein_details(session_id, cached)
+        details = response.message.payload()["details"]
+        assert details["method"]
+        assert "go_terms" in details
+        # Served from the prefetch cache: no new scheduler batch.
+        assert scheduler.stats.batches == batches_before
+
+    def test_details_miss_fetches_on_demand(self, dataset, drugtree):
+        config = ServerConfig(prefetch_details=False)
+        server, scheduler = self._federated_server(dataset, drugtree,
+                                                   config)
+        session_id, _ = server.open_session()
+        assert not server._details  # prefetch disabled
+        pid = dataset.family.protein_ids[0]
+        response = server.protein_details(session_id, pid)
+        assert response.message.payload()["protein_id"] == pid
+        assert scheduler.stats.batches == 1
+
+    def test_detail_cache_capacity_bounded(self, dataset, drugtree):
+        config = ServerConfig(prefetch_details=False,
+                              detail_cache_capacity=3)
+        server, _ = self._federated_server(dataset, drugtree, config)
+        session_id, _ = server.open_session()
+        for pid in dataset.family.protein_ids[:6]:
+            server.protein_details(session_id, pid)
+        assert len(server._details) <= 3

@@ -169,3 +169,28 @@ class TestFaults:
             FaultModel(max_calls_per_window=0)
         with pytest.raises(SourceError):
             FaultModel(window_s=0)
+
+
+class TestEmptyKeyLists:
+    """Regression: an empty request must not cost a round-trip."""
+
+    def test_fetch_many_with_no_keys_is_free(self):
+        source = _source()
+        assert source.fetch_many("thing", []) == {}
+        assert source.stats.roundtrips == 0
+        assert source.clock.now() == 0.0
+
+    def test_fetch_many_with_no_keys_skips_faults(self):
+        # Even an always-failing source cannot fail a request that is
+        # never issued.
+        faults = FaultModel(failure_rate=0.99, seed=0)
+        source = _source(faults=faults)
+        assert source.fetch_many("thing", []) == {}
+        assert source.stats.errors == 0
+
+    def test_scan_keys_of_empty_table_is_free(self):
+        clock = SimulatedClock()
+        source = TableBackedSource("empty-src", clock, {"thing": {}})
+        assert source.scan_keys("thing") == []
+        assert source.stats.roundtrips == 0
+        assert clock.now() == 0.0

@@ -1,0 +1,352 @@
+"""Tests for the concurrent fetch scheduler (scatter/gather layer)."""
+
+import threading
+
+import pytest
+
+from repro.errors import SourceError, SourceUnavailableError
+from repro.obs import MetricsRegistry, set_metrics
+from repro.sources import (
+    CachingSource,
+    FaultModel,
+    FetchScheduler,
+    LatencyModel,
+    RetryingSource,
+    SimulatedClock,
+    SourceRegistry,
+    TableBackedSource,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+    set_metrics(MetricsRegistry())
+
+
+def make_source(clock, kind, n=20, base_s=0.1, page_size=100,
+                name=None, faults=None):
+    tables = {kind: {f"{kind}{i}": f"v{i}" for i in range(n)}}
+    return TableBackedSource(
+        name or f"{kind}-src", clock, tables,
+        latency=LatencyModel(base_s=base_s, per_item_s=0.0,
+                             jitter_fraction=0.0),
+        faults=faults, page_size=page_size,
+    )
+
+
+def make_world(kinds=("alpha", "beta", "gamma"), base_s=0.1, **kwargs):
+    clock = SimulatedClock()
+    registry = SourceRegistry()
+    for kind in kinds:
+        registry.register(make_source(clock, kind, base_s=base_s,
+                                      **kwargs))
+    return clock, registry
+
+
+class TestOverlap:
+    def test_distinct_sources_cost_the_max(self):
+        clock, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        out = scheduler.fetch_all([
+            ("alpha", ["alpha0", "alpha1"]),
+            ("beta", ["beta0"]),
+            ("gamma", ["gamma0"]),
+        ])
+        assert out["alpha"] == {"alpha0": "v0", "alpha1": "v1"}
+        assert out["beta"] == {"beta0": "v0"}
+        # Three round-trips at 0.1 s each, fully overlapped.
+        assert clock.now() == pytest.approx(0.1)
+        assert scheduler.stats.overlap_saved_s == pytest.approx(0.2)
+
+    def test_round_trip_counts_match_sequential_dispatch(self):
+        clock, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        scheduler.fetch_all([
+            ("alpha", ["alpha0"]), ("beta", ["beta0"]),
+        ])
+        stats = registry.combined_stats()
+        assert stats["roundtrips"] == 2
+
+    def test_fetch_many_single_kind(self):
+        clock, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        out = scheduler.fetch_many("alpha", ["alpha3", "missing"])
+        assert out == {"alpha3": "v3"}
+
+    def test_fetch_single_key(self):
+        _, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        assert scheduler.fetch("beta", "beta1") == "v1"
+        assert scheduler.fetch("beta", "nope") is None
+
+    def test_empty_batch_is_free(self):
+        clock, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        assert scheduler.fetch_all([]) == {}
+        assert scheduler.fetch_all([("alpha", [])]) == {"alpha": {}}
+        assert clock.now() == 0.0
+
+
+class TestPaging:
+    def test_oversized_key_set_pages_overlap(self):
+        clock, registry = make_world(kinds=("alpha",), page_size=5)
+        scheduler = FetchScheduler(registry)
+        keys = [f"alpha{i}" for i in range(20)]
+        out = scheduler.fetch_many("alpha", keys)
+        assert len(out) == 20
+        assert scheduler.stats.pages_dispatched == 4
+        # Four pages at 0.1 s each dispatched concurrently cost 0.1 s
+        # of virtual time (the source would charge 0.4 sequentially).
+        assert clock.now() == pytest.approx(0.1)
+
+    def test_explicit_page_size_override(self):
+        _, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry, page_size=7)
+        scheduler.fetch_many("alpha", [f"alpha{i}" for i in range(20)])
+        assert scheduler.stats.pages_dispatched == 3
+
+
+class TestCoalescing:
+    def test_intra_batch_duplicates_fetch_once(self):
+        clock, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry)
+        keys = ["alpha0", "alpha1"]
+        out = scheduler.fetch_all([
+            ("alpha", keys), ("alpha", keys), ("alpha", keys),
+        ])
+        assert out["alpha"] == {"alpha0": "v0", "alpha1": "v1"}
+        assert scheduler.stats.coalesced == 4
+        assert registry.combined_stats()["roundtrips"] == 1
+
+    def test_cross_thread_inflight_borrowing(self):
+        clock, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry)
+        keys = [f"alpha{i}" for i in range(8)]
+        release = threading.Event()
+        original = registry.source_for("alpha").fetch_many
+        calls = []
+
+        def slow_fetch(kind, page):
+            calls.append(list(page))
+            release.wait(5.0)
+            return original(kind, page)
+
+        registry.source_for("alpha").fetch_many = slow_fetch
+        results = {}
+
+        def client(tag):
+            results[tag] = scheduler.fetch_many("alpha", keys)
+
+        first = threading.Thread(target=client, args=("first",))
+        first.start()
+        while not calls:  # owner's round-trip is in flight
+            pass
+        second = threading.Thread(target=client, args=("second",))
+        second.start()
+        # Give the second client time to reach the in-flight map, then
+        # let the owner's round-trip complete.
+        while scheduler.stats.coalesced < len(keys):
+            pass
+        release.set()
+        first.join(5.0)
+        second.join(5.0)
+
+        assert results["first"] == results["second"]
+        assert len(results["first"]) == 8
+        # The second client borrowed every key from the first's flight.
+        assert scheduler.stats.coalesced == len(keys)
+        assert len(calls) == 1
+
+    def test_distinct_keys_do_not_coalesce(self):
+        _, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry)
+        scheduler.fetch_all([("alpha", ["alpha0"]),
+                             ("alpha", ["alpha1"])])
+        assert scheduler.stats.coalesced == 0
+
+
+class TestResilience:
+    def test_transient_failure_retried(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        # seed=2: first draw fails, later draws succeed.
+        failing = None
+        for seed in range(50):
+            faults = FaultModel(failure_rate=0.5, seed=seed)
+            if faults.draw_failure() and not faults.draw_failure():
+                failing = FaultModel(failure_rate=0.5, seed=seed)
+                break
+        assert failing is not None
+        registry.register(make_source(clock, "alpha", faults=failing))
+        scheduler = FetchScheduler(registry, max_attempts=5)
+        out = scheduler.fetch_many("alpha", ["alpha0"])
+        assert out == {"alpha0": "v0"}
+        assert scheduler.stats.retries >= 1
+
+    def test_permanent_failure_raises_after_max_attempts(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        faults = FaultModel(failure_rate=0.99, seed=0)
+        registry.register(make_source(clock, "alpha", faults=faults))
+        scheduler = FetchScheduler(registry, max_attempts=3)
+        with pytest.raises(SourceUnavailableError):
+            scheduler.fetch_many("alpha", ["alpha0"])
+        assert scheduler.stats.retries == 2  # attempts - 1
+
+    def test_failed_page_releases_inflight_slots(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        faults = FaultModel(failure_rate=0.99, seed=0)
+        registry.register(make_source(clock, "alpha", faults=faults))
+        scheduler = FetchScheduler(registry, max_attempts=1)
+        with pytest.raises(SourceUnavailableError):
+            scheduler.fetch_many("alpha", ["alpha0"])
+        assert scheduler._inflight == {}
+
+    def test_retry_backoff_charges_virtual_time(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        faults = FaultModel(failure_rate=0.99, seed=0)
+        registry.register(make_source(clock, "alpha", base_s=0.0,
+                                      faults=faults))
+        scheduler = FetchScheduler(registry, max_attempts=3,
+                                   backoff_s=0.1)
+        with pytest.raises(SourceUnavailableError):
+            scheduler.fetch_many("alpha", ["alpha0"])
+        # Backoff 0.1 then 0.2 on the failing task's timeline.
+        assert clock.now() == pytest.approx(0.3)
+
+    def test_rate_limited_page_waits_out_the_window(self):
+        clock = SimulatedClock()
+        registry = SourceRegistry()
+        faults = FaultModel(max_calls_per_window=1, window_s=1.0)
+        registry.register(make_source(clock, "alpha", base_s=0.01,
+                                      page_size=1, faults=faults))
+        scheduler = FetchScheduler(registry, max_workers=1)
+        out = scheduler.fetch_many("alpha", ["alpha0", "alpha1"])
+        assert len(out) == 2
+        assert scheduler.stats.rate_limit_waits >= 1
+
+    def test_unknown_kind_raises_before_dispatch(self):
+        _, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry)
+        with pytest.raises(SourceError):
+            scheduler.fetch_all([("nope", ["x"])])
+        assert scheduler.stats.batches == 0
+
+    def test_invalid_construction(self):
+        _, registry = make_world(kinds=("alpha",))
+        with pytest.raises(SourceError):
+            FetchScheduler(registry, max_workers=0)
+        with pytest.raises(SourceError):
+            FetchScheduler(registry, max_attempts=0)
+        with pytest.raises(SourceError):
+            FetchScheduler(registry, backoff_s=-1)
+        with pytest.raises(SourceError):
+            FetchScheduler(SourceRegistry())  # no clock derivable
+
+
+class TestWrapperStacking:
+    """Satellite: Retrying(Caching(...)) vs Caching(Retrying(...))
+    behave per their stacking order under concurrent dispatch."""
+
+    def _registry_with(self, wrap, n=12, failure_rate=0.3):
+        clock = SimulatedClock()
+        inner = make_source(
+            clock, "alpha", n=n, page_size=3,
+            faults=FaultModel(failure_rate=failure_rate, seed=4),
+        )
+        registry = SourceRegistry()
+        registry.register(wrap(inner))
+        return clock, registry, inner
+
+    def test_retrying_outside_caching_masks_failures(self):
+        # Retrying(Caching(inner)): a transient failure is retried
+        # through the cache, so the scheduler sees clean results.
+        clock, registry, inner = self._registry_with(
+            lambda src: RetryingSource(CachingSource(src),
+                                       max_attempts=10)
+        )
+        scheduler = FetchScheduler(registry, max_attempts=1)
+        keys = [f"alpha{i}" for i in range(12)]
+        out = scheduler.fetch_many("alpha", keys)
+        assert len(out) == 12
+        # Second pass: everything cached, zero new round-trips.
+        before = inner.stats.roundtrips
+        again = scheduler.fetch_many("alpha", keys)
+        assert again == out
+        assert inner.stats.roundtrips == before
+
+    def test_caching_outside_retrying_caches_retried_results(self):
+        clock, registry, inner = self._registry_with(
+            lambda src: CachingSource(RetryingSource(src,
+                                                     max_attempts=10))
+        )
+        scheduler = FetchScheduler(registry, max_attempts=1)
+        keys = [f"alpha{i}" for i in range(12)]
+        out = scheduler.fetch_many("alpha", keys)
+        assert len(out) == 12
+        before = inner.stats.roundtrips
+        assert scheduler.fetch_many("alpha", keys) == out
+        assert inner.stats.roundtrips == before
+
+    def test_concurrent_clients_through_one_cache(self):
+        # Hammer one CachingSource from several scheduler batches on
+        # real threads; the cache must stay consistent and the data
+        # correct.
+        clock, registry, inner = self._registry_with(
+            lambda src: CachingSource(RetryingSource(src,
+                                                     max_attempts=10)),
+            failure_rate=0.0,
+        )
+        scheduler = FetchScheduler(registry)
+        keys = [f"alpha{i}" for i in range(12)]
+        results = []
+        errors = []
+
+        def client():
+            try:
+                results.append(scheduler.fetch_many("alpha", keys))
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        assert not errors
+        assert len(results) == 6
+        expected = {f"alpha{i}": f"v{i}" for i in range(12)}
+        assert all(result == expected for result in results)
+
+
+class TestMetrics:
+    def test_counters_registered_even_when_zero(self, fresh_metrics):
+        _, registry = make_world(kinds=("alpha",))
+        scheduler = FetchScheduler(registry)
+        scheduler.fetch_many("alpha", ["alpha0"])
+        counters = fresh_metrics.counter_values("scheduler.")
+        assert counters["scheduler.batches"] == 1
+        assert counters["scheduler.coalesced"] == 0  # present, zero
+        assert counters["scheduler.pages"] == 1
+
+    def test_inflight_gauge_returns_to_zero(self, fresh_metrics):
+        _, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        scheduler.fetch_all([("alpha", ["alpha0"]),
+                             ("beta", ["beta0"])])
+        assert fresh_metrics.gauge("scheduler.inflight").value == 0
+
+    def test_overlap_savings_counter(self, fresh_metrics):
+        _, registry = make_world()
+        scheduler = FetchScheduler(registry)
+        scheduler.fetch_all([("alpha", ["alpha0"]),
+                             ("beta", ["beta0"])])
+        saved = fresh_metrics.counter(
+            "scheduler.overlap_saved_virtual_s"
+        ).value
+        assert saved == pytest.approx(0.1)
