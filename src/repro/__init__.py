@@ -13,6 +13,8 @@ The package layers four subsystems:
   clade materialization, the cost-based query engine, the semantic
   cache, and the naive baseline;
 * :mod:`repro.mobile` — the simulated mobile client/server;
+* :mod:`repro.analysis` — the DTQL semantic analyzer (typed catalog,
+  contradiction short-circuit) and the repo invariant linter;
 * :mod:`repro.obs` — tracing, metrics, and EXPLAIN ANALYZE support;
 * :mod:`repro.workloads` — synthetic datasets and the benchmark harness.
 

@@ -1,0 +1,42 @@
+"""Static analysis: DTQL semantics and repository invariants.
+
+Two layers share one diagnostics vocabulary (:mod:`repro.analysis.diag`):
+
+* :mod:`repro.analysis.dtql` — a typed-catalog semantic pass over DTQL
+  queries that runs *between* parse and plan: unknown-name suggestions,
+  predicate type checking, constant folding, range analysis proving
+  contradictions before any table (or remote source) is touched, and
+  remote-cost warnings for federation-resolved columns;
+* :mod:`repro.analysis.lint` — Python-``ast`` rules over the repository
+  source itself, enforcing the concurrency and determinism invariants
+  the runtime relies on (single wall-clock path, ``with``-guarded
+  locks, lock-guarded shared-state writes, seeded randomness).
+
+``python -m repro check`` and ``python -m repro lint`` expose both from
+the command line; the query engine and the mobile server run the DTQL
+layer on every query they accept.
+"""
+
+from repro.analysis.catalog import Catalog, ColumnInfo
+from repro.analysis.diag import Diagnostic, Severity, Span
+from repro.analysis.dtql import (
+    AnalysisReport,
+    SemanticAnalyzer,
+    empty_result_rows,
+)
+from repro.analysis.lint import LINT_RULES, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "AnalysisReport",
+    "Catalog",
+    "ColumnInfo",
+    "Diagnostic",
+    "LINT_RULES",
+    "SemanticAnalyzer",
+    "Severity",
+    "Span",
+    "empty_result_rows",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,101 @@
+"""Diagnostics shared by the DTQL analyzer and the repo linter.
+
+A :class:`Diagnostic` is one finding: a stable machine-readable code, a
+severity, a human message, and a location — either a character
+:class:`Span` into the analyzed query text (DTQL layer) or a
+``file``/``line`` pair (lint layer). Both layers render and serialize
+through the same type so tooling (the CLI, the CI gate, the mobile
+server's rejection payloads) handles them uniformly.
+
+Code ranges:
+
+* ``DTQL0xx`` — parse / name-resolution errors;
+* ``DTQL1xx`` — type errors in predicates and HAVING;
+* ``DTQL2xx`` — range analysis: contradictions, subsumption, folding;
+* ``DTQL3xx`` — cost advisories (implicit joins, remote columns);
+* ``L00x``   — repository invariant lint rules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; orders most severe first."""
+
+    ERROR = "error"      # the query/source must not run as written
+    WARNING = "warning"  # runs, but almost certainly not what was meant
+    INFO = "info"        # advisory: behaviour worth knowing about
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A character range ``[offset, offset + length)`` in query text."""
+
+    offset: int
+    length: int
+
+    def __str__(self) -> str:
+        return f"{self.offset}+{self.length}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analysis finding, locatable and machine-readable."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None   # DTQL layer: position in the query text
+    file: str | None = None    # lint layer: source path
+    line: int | None = None    # lint layer: 1-based line number
+    hint: str | None = None    # e.g. a did-you-mean suggestion
+
+    def render(self) -> str:
+        where = ""
+        if self.file is not None:
+            where = f" {self.file}:{self.line}"
+        elif self.span is not None:
+            where = f" @{self.span}"
+        hint = f" ({self.hint})" if self.hint else ""
+        return (f"{self.code} {self.severity.value}{where}: "
+                f"{self.message}{hint}")
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-native representation (the CLI's machine output)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "span": ([self.span.offset, self.span.length]
+                     if self.span is not None else None),
+            "file": self.file,
+            "line": self.line,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def sort_diagnostics(
+    diagnostics: list[Diagnostic],
+) -> tuple[Diagnostic, ...]:
+    """Severity-major, position-minor canonical order."""
+    return tuple(sorted(
+        diagnostics,
+        key=lambda d: (
+            d.severity.rank,
+            d.file or "",
+            d.line if d.line is not None else -1,
+            d.span.offset if d.span is not None else -1,
+            d.code,
+        ),
+    ))

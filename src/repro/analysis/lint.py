@@ -1,0 +1,316 @@
+"""Repository invariant linter: Python-``ast`` rules over ``src/``.
+
+The runtime has invariants nothing type-checks: benchmarks replay in
+*virtual* time, so wall-clock reads must flow through the one audited
+path (``obs/timing.py``); the fetch scheduler shares caches, metrics,
+and tracers across threads, so their state must only change under
+their locks; workloads must be reproducible, so randomness must come
+from a seeded ``random.Random``. These rules enforce each mechanically:
+
+========  ==============================================================
+``L001``  No wall-clock calls (``time.time``/``perf_counter``/
+          ``monotonic``, ``datetime.now``/``utcnow``/``today``) outside
+          ``obs/timing.py`` — including aliasing one to a new name.
+``L002``  No bare ``.acquire()`` — locks are taken with ``with`` so
+          exceptions can never leak a held lock.
+``L003``  No attribute writes to scheduler-shared classes
+          (``CachingSource``, ``MetricsRegistry``, ``Tracer``,
+          ``FetchScheduler``) outside ``__init__`` unless inside a
+          ``with self.<...lock...>:`` block. Thread-local state
+          (paths through ``_local``) is exempt.
+``L004``  In ``core`` paths: no module-level ``random.*`` functions
+          (global unseeded state) and no ``Random()`` without a seed.
+========  ==============================================================
+
+Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
+(listed rules) on the flagged line. ``repro lint`` runs these as the CI
+gate; :func:`lint_paths` is the library entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+from repro.analysis.diag import Diagnostic, Severity
+
+#: Rule registry: code → one-line description (shown by ``repro lint``).
+LINT_RULES: dict[str, str] = {
+    "L001": "wall-clock call outside obs/timing.py",
+    "L002": "bare Lock.acquire() without 'with'",
+    "L003": "unguarded attribute write to a scheduler-shared class",
+    "L004": "unseeded randomness in core paths",
+}
+
+#: Fully-dotted callables that read the wall clock.
+_WALL_CLOCK = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+})
+
+#: Classes whose instances are shared across FetchScheduler threads.
+_SHARED_CLASSES = frozenset({
+    "CachingSource",
+    "MetricsRegistry",
+    "Tracer",
+    "FetchScheduler",
+})
+
+#: Modules whose names we resolve through imports.
+_TRACKED_MODULES = ("time", "datetime", "random")
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?",
+                      re.IGNORECASE)
+
+
+def _is_timing_module(path: str) -> bool:
+    return path.replace(os.sep, "/").endswith("obs/timing.py")
+
+
+def _is_core_path(path: str) -> bool:
+    return "core" in path.replace(os.sep, "/").split("/")
+
+
+class _Visitor(ast.NodeVisitor):
+    """One pass collecting raw (code, line, message) findings."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.timing_module = _is_timing_module(path)
+        self.core_path = _is_core_path(path)
+        self.findings: list[tuple[str, int, str]] = []
+        self.module_aliases: dict[str, str] = {}  # local name → module
+        self.symbol_imports: dict[str, str] = {}  # local name → dotted
+        self.class_stack: list[str] = []
+        self.func_stack: list[str] = []
+        self.lock_depth = 0
+
+    # -- name resolution ---------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in _TRACKED_MODULES:
+                self.module_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in _TRACKED_MODULES:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                self.symbol_imports[local] = f"{node.module}.{alias.name}"
+        self.generic_visit(node)
+
+    def _resolve(self, node: ast.expr) -> str | None:
+        """Dotted name of *node* through tracked imports, or None."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = current.id
+        parts.reverse()
+        if root in self.module_aliases:
+            return ".".join([self.module_aliases[root], *parts])
+        if root in self.symbol_imports:
+            return ".".join([self.symbol_imports[root], *parts])
+        return None
+
+    # -- L001: wall-clock reads --------------------------------------------
+
+    def _check_wall_clock(self, node: ast.expr) -> None:
+        if self.timing_module:
+            return
+        resolved = self._resolve(node)
+        if resolved in _WALL_CLOCK:
+            self.findings.append((
+                "L001", node.lineno,
+                f"wall-clock call {resolved} outside obs/timing.py "
+                "(use repro.obs.timing.now_wall)",
+            ))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check_wall_clock(node)
+        self.visit(node.value)  # sub-attributes can't re-match _WALL_CLOCK
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) \
+                and node.id in self.symbol_imports:
+            self._check_wall_clock(node)
+
+    # -- L002 / L004: calls ------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "acquire":
+            self.findings.append((
+                "L002", node.lineno,
+                "bare .acquire() call; take locks with 'with' so they "
+                "release on exceptions",
+            ))
+        if self.core_path:
+            resolved = self._resolve(node.func)
+            if resolved == "random.Random" and not node.args:
+                self.findings.append((
+                    "L004", node.lineno,
+                    "Random() without a seed in a core path breaks "
+                    "reproducibility",
+                ))
+            elif resolved is not None and resolved.startswith("random.") \
+                    and resolved != "random.Random":
+                self.findings.append((
+                    "L004", node.lineno,
+                    f"module-level {resolved}() uses global unseeded "
+                    "state; draw from a seeded random.Random instance",
+                ))
+        self.generic_visit(node)
+
+    # -- L003: shared-state writes -----------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.func_stack.append(node.name)
+        saved = self.lock_depth
+        self.lock_depth = 0  # a lock held by a caller is not visible here
+        self.generic_visit(node)
+        self.lock_depth = saved
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    @staticmethod
+    def _is_lock_guard(item: ast.withitem) -> bool:
+        expr = item.context_expr
+        return (isinstance(expr, ast.Attribute)
+                and "lock" in expr.attr.lower()
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self")
+
+    def visit_With(self, node: ast.With) -> None:
+        guarded = any(self._is_lock_guard(item) for item in node.items)
+        for item in node.items:
+            self.visit(item.context_expr)
+        if guarded:
+            self.lock_depth += 1
+        for statement in node.body:
+            self.visit(statement)
+        if guarded:
+            self.lock_depth -= 1
+
+    def _self_attribute_path(self, target: ast.expr) -> list[str] | None:
+        parts: list[str] = []
+        current = target
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name) and current.id == "self" and parts:
+            parts.reverse()
+            return parts
+        return None
+
+    def _check_shared_write(self, node, targets: list[ast.expr]) -> None:
+        if not self.class_stack \
+                or self.class_stack[-1] not in _SHARED_CLASSES:
+            return
+        if not self.func_stack or self.func_stack[0] == "__init__":
+            return  # construction happens-before sharing
+        if self.lock_depth > 0:
+            return
+        for target in targets:
+            path = self._self_attribute_path(target)
+            if path is None:
+                continue
+            if any(part.startswith("_local") for part in path):
+                continue  # thread-local state needs no lock
+            self.findings.append((
+                "L003", node.lineno,
+                f"write to self.{'.'.join(path)} in "
+                f"{self.class_stack[-1]}.{self.func_stack[-1]} outside "
+                "a 'with self.<lock>:' block",
+            ))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._check_shared_write(node, node.targets)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_shared_write(node, [node.target])
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_shared_write(node, [node.target])
+        self.generic_visit(node)
+
+
+def _suppressed(line: str, code: str) -> bool:
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    listed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+    return code.upper() in listed
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Run every lint rule over one module's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            "L000", Severity.ERROR, f"syntax error: {exc.msg}",
+            file=path, line=exc.lineno or 1,
+        )]
+    visitor = _Visitor(path)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    diagnostics = []
+    for code, lineno, message in visitor.findings:
+        line_text = lines[lineno - 1] if 0 < lineno <= len(lines) else ""
+        if _suppressed(line_text, code):
+            continue
+        diagnostics.append(Diagnostic(
+            code, Severity.ERROR, message, file=path, line=lineno,
+        ))
+    return diagnostics
+
+
+def lint_file(path: str) -> list[Diagnostic]:
+    with open(path, encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def lint_paths(paths: list[str]) -> list[Diagnostic]:
+    """Lint every ``*.py`` under *paths* (files or directories)."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+            continue
+        for root, dirs, names in os.walk(path):
+            dirs[:] = sorted(
+                d for d in dirs
+                if d != "__pycache__" and not d.endswith(".egg-info")
+            )
+            files.extend(os.path.join(root, name)
+                         for name in sorted(names)
+                         if name.endswith(".py"))
+    diagnostics: list[Diagnostic] = []
+    for file_path in files:
+        diagnostics.extend(lint_file(file_path))
+    return diagnostics

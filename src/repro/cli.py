@@ -11,7 +11,9 @@ Offers the zero-code tour of the system:
 * ``tree``    — draw the annotated tree as ASCII art;
 * ``mobile``  — replay a gesture session on a chosen network profile;
 * ``similar`` — structural similarity search around a SMILES probe;
-* ``export``  — write the world as FASTA / Newick / SMILES / CSV.
+* ``export``  — write the world as FASTA / Newick / SMILES / CSV;
+* ``check``   — static semantic analysis of DTQL (no world is built);
+* ``lint``    — repository invariant lint rules over Python sources.
 
 Every command builds the same deterministic world from ``--seed``
 ``--leaves`` ``--ligands``, so results are reproducible and commands
@@ -292,6 +294,97 @@ def _cmd_similar(args: argparse.Namespace) -> int:
     return 0
 
 
+def _extract_dtql_queries(markdown: str) -> list[str]:
+    """DTQL statements from the ```sql fences of a markdown document.
+
+    ``--`` comments are stripped; a line starting with SELECT begins a
+    new statement and following lines continue it (the docs wrap long
+    queries).
+    """
+    queries: list[str] = []
+    in_sql = False
+    current: list[str] = []
+
+    def flush() -> None:
+        if current:
+            queries.append(" ".join(current))
+            current.clear()
+
+    for raw_line in markdown.splitlines():
+        stripped = raw_line.strip()
+        if stripped.startswith("```"):
+            if in_sql:
+                flush()
+            in_sql = stripped.lower().startswith("```sql")
+            continue
+        if not in_sql:
+            continue
+        code = stripped.split("--", 1)[0].strip()
+        if not code:
+            continue
+        if code.upper().startswith("SELECT"):
+            flush()
+        current.append(code)
+    flush()
+    return queries
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    # No world is needed: analysis is purely static.
+    from repro.analysis import SemanticAnalyzer
+
+    if args.dtql is None and args.file is None:
+        print("error: give a DTQL query or --file", file=sys.stderr)
+        return 2
+    if args.dtql is not None:
+        queries = [args.dtql]
+    else:
+        with open(args.file, encoding="utf-8") as handle:
+            queries = _extract_dtql_queries(handle.read())
+        if not queries:
+            print(f"error: no ```sql blocks in {args.file}",
+                  file=sys.stderr)
+            return 2
+
+    analyzer = SemanticAnalyzer()
+    reports = [(dtql, analyzer.check(dtql)) for dtql in queries]
+    failed = any(report.errors for _, report in reports)
+    if args.json:
+        print(json.dumps(
+            [{"query": dtql, **report.as_dict()}
+             for dtql, report in reports],
+            indent=2, sort_keys=True,
+        ))
+        return 1 if failed else 0
+    for dtql, report in reports:
+        print(f"> {dtql}")
+        print(report.render())
+    print(f"-- {len(reports)} quer{'y' if len(reports) == 1 else 'ies'} "
+          f"checked, "
+          f"{sum(len(r.errors) for _, r in reports)} error(s)")
+    return 1 if failed else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import LINT_RULES, lint_paths
+
+    if args.rules:
+        for code, description in sorted(LINT_RULES.items()):
+            print(f"{code}  {description}")
+        return 0
+    diagnostics = lint_paths(args.paths)
+    if args.json:
+        print(json.dumps([d.as_dict() for d in diagnostics],
+                         indent=2, sort_keys=True))
+        return 1 if diagnostics else 0
+    for diagnostic in diagnostics:
+        print(f"{diagnostic.file}:{diagnostic.line}: "
+              f"{diagnostic.code} {diagnostic.message}")
+    print(f"-- {len(diagnostics)} violation(s) in "
+          f"{', '.join(args.paths)}")
+    return 1 if diagnostics else 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import export_dataset
 
@@ -372,6 +465,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_options(export)
     export.add_argument("directory", help="output directory")
     export.set_defaults(handler=_cmd_export)
+
+    check = commands.add_parser(
+        "check",
+        help="static semantic analysis of DTQL (no execution)")
+    check.add_argument("dtql", nargs="?", default=None,
+                       help="query text to analyze")
+    check.add_argument("--file", default=None,
+                       help="markdown file whose ```sql blocks to check")
+    check.add_argument("--json", action="store_true",
+                       help="emit machine-readable diagnostics")
+    check.set_defaults(handler=_cmd_check)
+
+    lint = commands.add_parser(
+        "lint", help="repository invariant lint rules (L001-L004)")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit machine-readable diagnostics")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the rules and exit")
+    lint.set_defaults(handler=_cmd_lint)
 
     similar = commands.add_parser("similar",
                                   help="similarity search by SMILES")

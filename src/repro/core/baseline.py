@@ -19,7 +19,6 @@ produce them.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -36,6 +35,7 @@ from repro.core.overlay import (
 from repro.core.query.ast import AggregateSpec, Query
 from repro.core.query.parser import parse_query
 from repro.errors import QueryError
+from repro.obs.timing import now_wall
 from repro.sources.activity import (
     KIND_ACTIVITY_BY_PROTEIN,
     KIND_COMPOUND,
@@ -72,7 +72,7 @@ class NaiveEngine:
     def execute(self, query: Query | str) -> NaiveResult:
         if isinstance(query, str):
             query = parse_query(query)
-        started = time.perf_counter()
+        started = now_wall()
         before = self.registry.combined_stats()
         nodes_visited = 0
 
@@ -141,7 +141,7 @@ class NaiveEngine:
             roundtrips=int(after["roundtrips"] - before["roundtrips"]),
             virtual_latency_s=(after["virtual_latency_s"]
                                - before["virtual_latency_s"]),
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=now_wall() - started,
             nodes_visited=nodes_visited,
         )
 

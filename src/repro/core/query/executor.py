@@ -77,6 +77,11 @@ class EngineConfig:
     use_interval_labeling: bool = True
     use_materialized_aggregates: bool = True
     use_semantic_cache: bool = True
+    #: Run the typed-catalog semantic pass (repro.analysis.dtql) on
+    #: every query: reject type/name errors before any work, and answer
+    #: provably-empty WHERE clauses without planning, scanning, or any
+    #: source round-trip.
+    use_semantic_analysis: bool = True
     use_fingerprint_prefilter: bool = True
     use_substructure_screen: bool = True
     join_strategy: str = "dp"
@@ -149,6 +154,7 @@ class QueryEngine:
         #: Per-engine overrides; ``None`` means the process-wide default.
         self.tracer = tracer
         self.metrics = metrics
+        self._analyzer = None  # built lazily; see the analyzer property
 
     def _obs_tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
@@ -156,10 +162,43 @@ class QueryEngine:
     def _obs_metrics(self):
         return self.metrics if self.metrics is not None else get_metrics()
 
+    @property
+    def analyzer(self):
+        """The engine's semantic analyzer (built on first use).
+
+        Imported lazily: :mod:`repro.analysis` imports the query parser,
+        so a module-level import here would be circular.
+        """
+        if self._analyzer is None:
+            from repro.analysis.dtql import SemanticAnalyzer
+            self._analyzer = SemanticAnalyzer()
+        return self._analyzer
+
     # -- public API ------------------------------------------------------------
+
+    def check(self, query: Query | str):
+        """Static analysis only: the semantic report, nothing executed."""
+        return self.analyzer.check(query)
+
+    def _analyze_query(self, query: Query, text: str | None):
+        """Run the pre-plan semantic pass; errors stop the query here."""
+        if not self.config.use_semantic_analysis:
+            return None
+        report = self.analyzer.check(query, text=text)
+        if report.errors:
+            raise QueryError(
+                "semantic analysis rejected query: "
+                + "; ".join(d.render() for d in report.errors)
+            )
+        return report
+
+    def _empty_rows(self, query: Query) -> list[dict[str, Any]]:
+        from repro.analysis.dtql import empty_result_rows
+        return empty_result_rows(query)
 
     def execute(self, query: Query | str) -> QueryResult:
         """Run a query (AST or DTQL text)."""
+        text = query if isinstance(query, str) else None
         if isinstance(query, str):
             query = parse_query(query)
         tracer = self._obs_tracer()
@@ -169,6 +208,26 @@ class QueryEngine:
         metrics.counter("query.executed").inc()
 
         with tracer.span("query.execute") as span:
+            report = self._analyze_query(query, text)
+            if report is not None and report.provably_empty:
+                # The WHERE clause cannot be satisfied: answer without
+                # planning, scanning, resolving similarity filters, or
+                # any source round-trip.
+                rows = self._empty_rows(query)
+                wall = timer.stop()
+                span.set("analysis", "short_circuit")
+                span.set("rows", len(rows))
+                metrics.counter("query.analysis_short_circuit").inc()
+                metrics.histogram("query.wall_s").observe(wall)
+                metrics.counter("query.rows_returned").inc(len(rows))
+                return QueryResult(
+                    rows=rows,
+                    cache_outcome=("miss" if self.config.use_semantic_cache
+                                   else "off"),
+                    counters={"rows_scanned": 0, "rows_emitted": len(rows),
+                              "index_probes": 0, "operators": []},
+                    wall_time_s=wall,
+                )
             if self.config.use_semantic_cache:
                 hit = self.cache.lookup(query)
                 if hit is not None:
@@ -198,6 +257,12 @@ class QueryEngine:
             physical = self._to_physical(plan.logical, counters)
             with tracer.span("query.run") as run_span:
                 rows = list(physical.rows())
+                if isinstance(plan.logical, LogicalEmpty):
+                    # The rewriter proved the WHERE empty and dropped
+                    # the whole tree, aggregates included; restore the
+                    # SQL shape (count→0, mean→NULL) the naive engine
+                    # and the analyzer short-circuit both produce.
+                    rows = self._empty_rows(query)
                 run_span.set("rows", len(rows))
                 run_span.set("rows_scanned", counters.rows_scanned)
 
@@ -243,11 +308,16 @@ class QueryEngine:
         metrics registry, so remote traffic during execution (or its
         absence — the point of the integrated overlay) is visible.
         """
+        text = query if isinstance(query, str) else None
         if isinstance(query, str):
             query = parse_query(query)
         tracer = self._obs_tracer()
         metrics = self._obs_metrics()
         clock = getattr(tracer, "clock", None)
+
+        report = self._analyze_query(query, text)
+        analysis_lines = (report.summary_lines()
+                          if report is not None else ())
 
         cache_outcome = "off (semantic cache disabled)"
         if self.config.use_semantic_cache:
@@ -255,6 +325,33 @@ class QueryEngine:
             cache_outcome = (
                 f"{hit.kind} (result recomputed for analysis)"
                 if hit is not None else "miss"
+            )
+
+        if report is not None and report.provably_empty:
+            # Short-circuit mirror of execute(): no plan, no operators,
+            # no round-trips. The report still renders the analysis
+            # trailer naming the contradicted predicates.
+            with tracer.span("query.explain_analyze") as span, \
+                    WallTimer() as timer:
+                rows = self._empty_rows(query)
+                span.set("rows", len(rows))
+                span.set("analysis", "short_circuit")
+            metrics.counter("query.analysis_short_circuit").inc()
+            stats = OperatorStats("AnalysisEmpty(provably empty WHERE)")
+            stats.rows_out = len(rows)
+            stats.loops = 1
+            return AnalyzeReport(
+                plan_text="",
+                operators=stats,
+                rows=len(rows),
+                wall_s=timer.elapsed_s,
+                virtual_s=0.0,
+                estimated_rows=0.0,
+                estimated_cost=0.0,
+                cache_outcome=cache_outcome,
+                counters={"rows_scanned": 0, "rows_emitted": len(rows),
+                          "index_probes": 0, "operators": []},
+                analysis=analysis_lines,
             )
 
         ligand_keys, _, __ = self._resolve_ligand_filters(query)
@@ -273,6 +370,8 @@ class QueryEngine:
         with tracer.span("query.explain_analyze") as span, \
                 WallTimer() as timer:
             rows = list(physical.rows())
+            if isinstance(plan.logical, LogicalEmpty):
+                rows = self._empty_rows(query)
             span.set("rows", len(rows))
         virtual_s = (clock.now() - virtual_before
                      if clock is not None else 0.0)
@@ -307,6 +406,7 @@ class QueryEngine:
             counters=counters.snapshot(),
             source_roundtrips=source_roundtrips,
             federation=federation,
+            analysis=analysis_lines,
         )
 
     def explain_analyze(self, query: Query | str) -> str:

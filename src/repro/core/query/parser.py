@@ -20,12 +20,16 @@ Examples::
     SELECT organism, count(*) FROM bindings, proteins
         WHERE potent = true GROUP BY organism
     SELECT ligand_id, p_affinity ORDER BY p_affinity DESC LIMIT 10
+
+Parse errors carry a character ``span`` — ``(offset, length)`` into the
+query text — so diagnostics (``repro check``, the mobile server's
+rejection payloads) can point at the offending token.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Any
+from typing import Any, NamedTuple
 
 from repro.core.query.ast import (
     AggregateSpec,
@@ -54,41 +58,70 @@ _TOKEN_RE = re.compile(
 )
 
 
-def _tokenize(text: str) -> list[tuple[str, str]]:
-    tokens: list[tuple[str, str]] = []
+class Token(NamedTuple):
+    """One DTQL token with its position in the source text."""
+
+    kind: str
+    text: str
+    offset: int
+
+    @property
+    def span(self) -> tuple[int, int]:
+        return (self.offset, len(self.text))
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split DTQL *text* into :class:`Token` objects (whitespace dropped)."""
+    tokens: list[Token] = []
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
             raise ParseError(
                 f"unexpected character {text[position]!r} at "
-                f"offset {position}"
+                f"offset {position}",
+                span=(position, 1),
             )
+        start = position
         position = match.end()
         kind = match.lastgroup
         assert kind is not None
         if kind == "ws":
             continue
-        tokens.append((kind, match.group()))
+        tokens.append(Token(kind, match.group(), start))
     return tokens
 
 
 class _Parser:
     def __init__(self, text: str) -> None:
-        self.tokens = _tokenize(text)
+        self.text = text
+        self.tokens = tokenize(text)
         self.position = 0
 
     # -- token helpers -----------------------------------------------------
 
-    def _peek(self) -> tuple[str, str] | None:
+    def _end_span(self) -> tuple[int, int]:
+        """Zero-width span just past the last token (for EOF errors)."""
+        if self.tokens:
+            last = self.tokens[-1]
+            return (last.offset + len(last.text), 0)
+        return (len(self.text), 0)
+
+    def _peek(self) -> Token | None:
         if self.position < len(self.tokens):
             return self.tokens[self.position]
         return None
 
-    def _next(self) -> tuple[str, str]:
+    def _peek_is(self, kind: str, text: str) -> bool:
+        token = self._peek()
+        return (token is not None and token.kind == kind
+                and token.text == text)
+
+    def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of query")
+            raise ParseError("unexpected end of query",
+                             span=self._end_span())
         self.position += 1
         return token
 
@@ -97,31 +130,37 @@ class _Parser:
         saved = self.position
         for word in words:
             token = self._peek()
-            if token is None or token[0] != "word" \
-                    or token[1].upper() != word:
+            if token is None or token.kind != "word" \
+                    or token.text.upper() != word:
                 self.position = saved
                 return False
             self.position += 1
         return True
 
+    def _here(self) -> tuple[int, int]:
+        token = self._peek()
+        return token.span if token is not None else self._end_span()
+
     def _expect_keyword(self, word: str) -> None:
         if not self._keyword(word):
-            raise ParseError(f"expected keyword {word}")
+            raise ParseError(f"expected keyword {word}", span=self._here())
 
     def _expect_punct(self, symbol: str) -> None:
         token = self._next()
-        if token != ("punct", symbol):
-            raise ParseError(f"expected {symbol!r}, got {token[1]!r}")
+        if (token.kind, token.text) != ("punct", symbol):
+            raise ParseError(f"expected {symbol!r}, got {token.text!r}",
+                             span=token.span)
 
     def _identifier(self) -> str:
         token = self._next()
-        if token[0] != "word":
-            raise ParseError(f"expected identifier, got {token[1]!r}")
-        return token[1]
+        if token.kind != "word":
+            raise ParseError(f"expected identifier, got {token.text!r}",
+                             span=token.span)
+        return token.text
 
     def _literal(self) -> Any:
         token = self._next()
-        kind, text = token
+        kind, text = token.kind, token.text
         if kind == "string":
             return text[1:-1].replace("''", "'")
         if kind == "number":
@@ -130,7 +169,7 @@ class _Parser:
                 and "e" not in text.lower() else value
         if kind == "word" and text.upper() in ("TRUE", "FALSE"):
             return text.upper() == "TRUE"
-        raise ParseError(f"expected literal, got {text!r}")
+        raise ParseError(f"expected literal, got {text!r}", span=token.span)
 
     # -- grammar -----------------------------------------------------------
 
@@ -152,12 +191,18 @@ class _Parser:
         if self._keyword("SIMILAR", "TO"):
             smiles = self._string()
             token = self._next()
-            if token != ("op", ">="):
-                raise ParseError("SIMILAR TO needs '>= threshold'")
+            if (token.kind, token.text) != ("op", ">="):
+                raise ParseError("SIMILAR TO needs '>= threshold'",
+                                 span=token.span)
+            threshold_span = self._here()
             threshold = self._literal()
             if not isinstance(threshold, (int, float)):
-                raise ParseError("similarity threshold must be a number")
-            similar = SimilarityFilter(smiles, float(threshold))
+                raise ParseError("similarity threshold must be a number",
+                                 span=threshold_span)
+            try:
+                similar = SimilarityFilter(smiles, float(threshold))
+            except QueryError as exc:
+                raise ParseError(str(exc), span=threshold_span) from None
         substructure = None
         if self._keyword("CONTAINING"):
             substructure = SubstructureFilter(self._string())
@@ -180,13 +225,17 @@ class _Parser:
             order_by = OrderBy(column, descending)
         limit = None
         if self._keyword("LIMIT"):
+            limit_span = self._here()
             value = self._literal()
             if not isinstance(value, int):
-                raise ParseError("LIMIT must be an integer")
+                raise ParseError("LIMIT must be an integer",
+                                 span=limit_span)
             limit = value
-        if self._peek() is not None:
+        trailing = self._peek()
+        if trailing is not None:
             raise ParseError(
-                f"trailing tokens starting at {self._peek()[1]!r}"
+                f"trailing tokens starting at {trailing.text!r}",
+                span=trailing.span,
             )
         return Query(
             select=tuple(select),
@@ -205,14 +254,14 @@ class _Parser:
     def _select_items(self) -> tuple[list[str], list[AggregateSpec]]:
         select: list[str] = []
         aggregates: list[AggregateSpec] = []
-        if self._peek() == ("punct", "*"):
+        if self._peek_is("punct", "*"):
             self._next()
             return select, aggregates
         while True:
             name = self._identifier()
-            if self._peek() == ("punct", "("):
+            if self._peek_is("punct", "("):
                 self._next()
-                if self._peek() == ("punct", "*"):
+                if self._peek_is("punct", "*"):
                     self._next()
                     column = "*"
                 else:
@@ -221,7 +270,7 @@ class _Parser:
                 aggregates.append(AggregateSpec(name.lower(), column))
             else:
                 select.append(name)
-            if self._peek() == ("punct", ","):
+            if self._peek_is("punct", ","):
                 self._next()
                 continue
             break
@@ -229,16 +278,18 @@ class _Parser:
 
     def _table_list(self) -> list[str]:
         tables = [self._table_name()]
-        while self._peek() == ("punct", ","):
+        while self._peek_is("punct", ","):
             self._next()
             tables.append(self._table_name())
         return tables
 
     def _table_name(self) -> str:
+        span = self._here()
         name = self._identifier().lower()
         if name not in _KNOWN_TABLES:
             raise ParseError(
-                f"unknown table {name!r} (known: {_KNOWN_TABLES})"
+                f"unknown table {name!r} (known: {_KNOWN_TABLES})",
+                span=span,
             )
         return name
 
@@ -247,7 +298,7 @@ class _Parser:
         if self._keyword("IN"):
             self._expect_punct("(")
             values = [self._literal()]
-            while self._peek() == ("punct", ","):
+            while self._peek_is("punct", ","):
                 self._next()
                 values.append(self._literal())
             self._expect_punct(")")
@@ -259,35 +310,45 @@ class _Parser:
             return [Comparison(column, ">=", low),
                     Comparison(column, "<=", high)]
         token = self._next()
-        if token[0] != "op":
+        if token.kind != "op":
             raise ParseError(
-                f"expected comparison operator, got {token[1]!r}"
+                f"expected comparison operator, got {token.text!r}",
+                span=token.span,
             )
-        return [Comparison(column, token[1], self._literal())]
+        return [Comparison(column, token.text, self._literal())]
 
     def _having_condition(self) -> HavingCondition:
         column = self._identifier()
         token = self._next()
-        if token[0] != "op":
+        if token.kind != "op":
             raise ParseError(
-                f"expected comparison operator, got {token[1]!r}"
+                f"expected comparison operator, got {token.text!r}",
+                span=token.span,
             )
-        return HavingCondition(column, token[1], self._literal())
+        return HavingCondition(column, token.text, self._literal())
 
     def _string(self) -> str:
         token = self._next()
-        if token[0] != "string":
-            raise ParseError(f"expected quoted string, got {token[1]!r}")
-        return token[1][1:-1].replace("''", "'")
+        if token.kind != "string":
+            raise ParseError(f"expected quoted string, got {token.text!r}",
+                             span=token.span)
+        return token.text[1:-1].replace("''", "'")
 
 
 def parse_query(text: str) -> Query:
-    """Parse DTQL *text* into a :class:`Query`."""
+    """Parse DTQL *text* into a :class:`Query`.
+
+    Raised :class:`ParseError` objects keep the ``span`` of the inner
+    failure (when one is known) even though the message is rewrapped,
+    so callers can still point at the offending token. Spans index into
+    *text* exactly as given (tokenization skips whitespace in place).
+    """
     if not text or not text.strip():
         raise ParseError("empty query text")
     try:
-        return _Parser(text.strip()).parse()
+        return _Parser(text).parse()
     except QueryError as exc:
         # Covers ParseError plus AST validation errors (bad columns,
         # aggregates, thresholds) surfaced while building the Query.
-        raise ParseError(f"bad query {text!r}: {exc}") from None
+        raise ParseError(f"bad query {text!r}: {exc}",
+                         span=exc.span) from None

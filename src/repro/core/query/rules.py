@@ -70,12 +70,19 @@ def _contradictory(predicates: list[Comparison]) -> bool:
     for predicate in predicates:
         by_column.setdefault(predicate.column, []).append(predicate)
     for column_preds in by_column.values():
-        if _column_contradiction(column_preds):
+        if column_contradiction(column_preds):
             return True
     return False
 
 
-def _column_contradiction(predicates: list[Comparison]) -> bool:
+def column_contradiction(predicates: list[Comparison]) -> bool:
+    """True if AND-ing *predicates* (all on one column) is unsatisfiable.
+
+    Public so the semantic analyzer (:mod:`repro.analysis.dtql`) can
+    probe predicate pairs with exactly the rewriter's decision
+    procedure — the analyzer's "provably empty" verdict and the
+    planner's empty-plan rewrite can never disagree.
+    """
     equalities = [p.value for p in predicates if p.op == "="]
     if len(set(map(repr, equalities))) > 1:
         return True

@@ -49,7 +49,21 @@ class SchemaError(StorageError):
 
 
 class QueryError(DrugTreeError):
-    """Malformed query or a query referencing unknown entities."""
+    """Malformed query or a query referencing unknown entities.
+
+    ``span`` is an optional ``(offset, length)`` character range into
+    the DTQL text the error refers to, kept as a plain tuple so the
+    core layer never depends on :mod:`repro.analysis`. Parser errors
+    carry one whenever the offending token is known; errors raised
+    while building a :class:`~repro.core.query.ast.Query` from
+    programmatic dataclasses have no text to point into and leave it
+    ``None``.
+    """
+
+    def __init__(self, message: str = "",
+                 span: "tuple[int, int] | None" = None) -> None:
+        super().__init__(message)
+        self.span = span
 
 
 class ParseError(QueryError):

@@ -138,8 +138,26 @@ class DrugTreeServer:
         return response
 
     def query(self, session_id: str, dtql: str) -> ServerResponse:
-        """Run a DTQL query on behalf of the session."""
+        """Run a DTQL query on behalf of the session.
+
+        The query text is semantically checked *before* any execution
+        or fetch: a malformed tap (bad column from a stale client UI,
+        type-mismatched literal) is rejected here and never costs a
+        source round-trip. The raised :class:`MobileError` carries the
+        machine-readable findings on ``.diagnostics`` so clients can
+        highlight the offending span.
+        """
         self._session(session_id)  # validates
+        if self.engine.config.use_semantic_analysis:
+            report = self.engine.check(dtql)
+            if report.errors:
+                get_metrics().counter("mobile.query_rejected").inc()
+                error = MobileError(
+                    "query rejected by semantic analysis: "
+                    + "; ".join(d.render() for d in report.errors)
+                )
+                error.diagnostics = [d.as_dict() for d in report.errors]
+                raise error
         with get_tracer().span("mobile.query",
                                session=session_id) as span, \
                 WallTimer() as timer:

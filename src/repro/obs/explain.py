@@ -128,6 +128,10 @@ class AnalyzeReport:
     #: dispatched, coalesced requests, virtual seconds saved by
     #: overlap); empty when the query never touched the federation.
     federation: dict[str, float] = field(default_factory=dict)
+    #: Semantic-analyzer findings (provably-empty proofs, remote-cost
+    #: and folding advisories); empty when analysis found nothing or
+    #: was disabled.
+    analysis: tuple[str, ...] = ()
 
     @property
     def row_estimate_error(self) -> float:
@@ -176,6 +180,7 @@ class AnalyzeReport:
                 for name, value in sorted(self.federation.items())
             ]
             lines.append("-- fetch scheduler: " + ", ".join(parts))
+        lines.extend(f"-- analysis: {line}" for line in self.analysis)
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
@@ -193,5 +198,6 @@ class AnalyzeReport:
                 for name, delta in self.source_roundtrips.items()
             },
             "federation": dict(self.federation),
+            "analysis": list(self.analysis),
             "operators": self.operators.as_dict(),
         }

@@ -254,8 +254,9 @@ class Tracer:
 
     def reset(self) -> None:
         """Drop finished spans (open spans keep nesting correctly)."""
-        self._finished.clear()
-        self.dropped = 0
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
 
     def summary(self) -> dict[str, dict[str, float]]:
         """Per-name aggregate: count, total wall, total virtual."""

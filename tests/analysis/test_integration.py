@@ -1,0 +1,166 @@
+"""End-to-end behaviour of the semantic analyzer inside the engine,
+EXPLAIN ANALYZE, and the mobile server."""
+
+import pytest
+
+from repro.core import EngineConfig, NaiveEngine, QueryEngine
+from repro.errors import MobileError, QueryError
+from repro.mobile import DrugTreeServer, ServerConfig
+from repro.obs import MetricsRegistry
+from repro.workloads import DatasetConfig, build_dataset
+
+CONTRADICTION = ("SELECT * FROM bindings WHERE value_nm < 10 "
+                 "AND value_nm > 100")
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DatasetConfig(n_leaves=16, n_ligands=30, seed=9))
+
+
+@pytest.fixture(scope="module")
+def drugtree(dataset):
+    return dataset.drugtree()
+
+
+class TestShortCircuit:
+    def test_zero_source_roundtrips(self, dataset, drugtree):
+        """The acceptance criterion: a provably-contradictory query
+        executes without a single source round-trip."""
+        engine = QueryEngine(drugtree)
+        before = dataset.registry.combined_stats()["roundtrips"]
+        result = engine.execute(CONTRADICTION)
+        after = dataset.registry.combined_stats()["roundtrips"]
+        assert result.rows == []
+        assert after == before
+        assert result.counters["rows_scanned"] == 0
+        assert result.counters["index_probes"] == 0
+        assert result.plan is None  # never planned
+
+    def test_short_circuit_counter_increments(self, drugtree):
+        metrics = MetricsRegistry()
+        engine = QueryEngine(drugtree, metrics=metrics)
+        engine.execute(CONTRADICTION)
+        engine.execute("SELECT count(*) FROM bindings")
+        assert metrics.counter(
+            "query.analysis_short_circuit").value == 1
+
+    def test_similarity_filter_not_resolved(self, drugtree):
+        """An unsatisfiable SIMILAR TO query skips fingerprint
+        resolution entirely — that work happens before planning, so
+        only the analyzer can save it."""
+        engine = QueryEngine(drugtree)
+        contradictory = ("SELECT ligand_id, smiles, p_affinity "
+                         "WHERE value_nm < 1 AND value_nm > 2 "
+                         "SIMILAR TO 'CCO' >= 0.4")
+        result = engine.execute(contradictory)
+        assert result.rows == []
+        assert result.similarity_candidates == 0
+        off = QueryEngine(drugtree, EngineConfig(
+            use_semantic_analysis=False, use_semantic_cache=False))
+        baseline = off.execute(contradictory)
+        assert baseline.rows == []
+        assert baseline.similarity_candidates > 0
+
+    def test_scalar_aggregate_keeps_sql_semantics(self, drugtree):
+        engine = QueryEngine(drugtree)
+        result = engine.execute(
+            "SELECT count(*), mean(p_affinity) FROM bindings "
+            "WHERE value_nm < 1 AND value_nm > 2")
+        assert result.rows == [{"count_all": 0,
+                                "mean_p_affinity": None}]
+
+    def test_matches_naive_engine_on_contradiction(self, dataset,
+                                                   drugtree):
+        engine = QueryEngine(drugtree)
+        naive = NaiveEngine(dataset.tree, dataset.registry)
+        dtql = ("SELECT count(*) FROM bindings "
+                "WHERE p_affinity > 9 AND p_affinity < 2")
+        assert engine.execute(dtql).rows == naive.execute(dtql).rows
+
+    def test_analysis_off_still_answers_empty(self, drugtree):
+        off = QueryEngine(drugtree, EngineConfig(
+            use_semantic_analysis=False))
+        result = off.execute(CONTRADICTION)
+        assert result.rows == []
+        assert result.counters["rows_scanned"] == 0
+        assert result.plan is not None  # the planner did the work
+
+    def test_rejects_semantic_errors(self, drugtree):
+        engine = QueryEngine(drugtree)
+        with pytest.raises(QueryError,
+                           match="semantic analysis rejected"):
+            engine.execute("SELECT * WHERE organism = 5")
+
+    def test_analysis_off_does_not_reject(self, drugtree):
+        off = QueryEngine(drugtree, EngineConfig(
+            use_semantic_analysis=False, use_semantic_cache=False))
+        # Type-mismatched equality silently matches nothing, as before.
+        assert off.execute("SELECT * WHERE organism = 5").rows == []
+
+    def test_check_method_exposes_report(self, drugtree):
+        engine = QueryEngine(drugtree)
+        report = engine.check(CONTRADICTION)
+        assert report.provably_empty
+        assert report.ok
+
+
+class TestExplainAnalyze:
+    def test_trailer_names_the_pair(self, drugtree):
+        engine = QueryEngine(drugtree)
+        rendered = engine.analyze(CONTRADICTION).render()
+        assert ("-- analysis: provably empty: value_nm < 10 "
+                "AND value_nm > 100") in rendered
+        assert "AnalysisEmpty" in rendered
+        assert "source round-trips: none recorded" in rendered
+
+    def test_report_fields(self, drugtree):
+        engine = QueryEngine(drugtree)
+        report = engine.analyze(CONTRADICTION)
+        assert report.rows == 0
+        assert report.counters["rows_scanned"] == 0
+        assert report.estimated_rows == 0.0
+        assert report.as_dict()["analysis"]
+
+    def test_advisories_ride_along_on_normal_queries(self, drugtree):
+        engine = QueryEngine(drugtree)
+        report = engine.analyze(
+            "SELECT ligand_id FROM bindings WHERE organism = 'x'")
+        assert any("DTQL301" in line for line in report.analysis)
+        assert "-- analysis: DTQL301" in report.render()
+
+    def test_clean_query_has_no_trailer(self, drugtree):
+        engine = QueryEngine(drugtree)
+        report = engine.analyze("SELECT count(*) FROM bindings")
+        assert report.analysis == ()
+        assert "-- analysis:" not in report.render()
+
+
+class TestMobileGate:
+    def test_malformed_tap_rejected_before_any_fetch(self, dataset,
+                                                     drugtree):
+        server = DrugTreeServer(drugtree, ServerConfig())
+        session_id, _ = server.open_session()
+        before = dataset.registry.combined_stats()["roundtrips"]
+        with pytest.raises(MobileError,
+                           match="rejected by semantic analysis") as info:
+            server.query(session_id, "SELECT ffamily FROM proteins")
+        after = dataset.registry.combined_stats()["roundtrips"]
+        assert after == before
+        diagnostics = info.value.diagnostics
+        assert diagnostics[0]["code"] == "DTQL002"
+        assert "family" in diagnostics[0]["hint"]
+        assert diagnostics[0]["span"] is not None
+
+    def test_valid_query_still_served(self, drugtree):
+        server = DrugTreeServer(drugtree, ServerConfig())
+        session_id, _ = server.open_session()
+        response = server.query(
+            session_id, "SELECT count(*) FROM bindings")
+        assert response.payload_rows == 1
+
+    def test_contradictory_tap_served_from_analysis(self, drugtree):
+        server = DrugTreeServer(drugtree, ServerConfig())
+        session_id, _ = server.open_session()
+        response = server.query(session_id, CONTRADICTION)
+        assert response.payload_rows == 0

@@ -1,0 +1,237 @@
+"""Tests for the repository invariant linter (L001-L004)."""
+
+import textwrap
+
+from repro.analysis import LINT_RULES, lint_file, lint_paths, lint_source
+
+
+def run(source, path="src/repro/example.py"):
+    return lint_source(textwrap.dedent(source), path)
+
+
+def codes(diagnostics):
+    return [d.code for d in diagnostics]
+
+
+class TestL001WallClock:
+    def test_pre_fix_baseline_pattern(self):
+        # The exact pattern baseline.py had before this PR.
+        found = run("""\
+            import time
+
+            def execute():
+                started = time.perf_counter()
+                return time.perf_counter() - started
+        """)
+        assert codes(found) == ["L001", "L001"]
+        assert found[0].line == 4
+
+    def test_from_import(self):
+        found = run("""\
+            from time import perf_counter
+            t = perf_counter()
+        """)
+        assert codes(found) == ["L001"]
+
+    def test_aliased_import(self):
+        found = run("""\
+            import time as t
+            x = t.monotonic()
+        """)
+        assert codes(found) == ["L001"]
+
+    def test_aliasing_the_function_is_caught(self):
+        found = run("""\
+            import time
+            now = time.perf_counter
+        """)
+        assert codes(found) == ["L001"]
+
+    def test_datetime_now(self):
+        found = run("""\
+            from datetime import datetime
+            stamp = datetime.now()
+        """)
+        assert codes(found) == ["L001"]
+
+    def test_time_sleep_is_fine(self):
+        assert run("""\
+            import time
+            time.sleep(0.1)
+        """) == []
+
+    def test_timing_module_is_exempt(self):
+        found = run("""\
+            import time
+            now_wall = time.perf_counter
+        """, path="src/repro/obs/timing.py")
+        assert found == []
+
+
+class TestL002BareAcquire:
+    def test_bare_acquire(self):
+        found = run("lock.acquire()\n")
+        assert codes(found) == ["L002"]
+
+    def test_self_lock_acquire(self):
+        found = run("""\
+            class Thing:
+                def poke(self):
+                    self._lock.acquire()
+        """)
+        assert codes(found) == ["L002"]
+
+    def test_with_statement_is_fine(self):
+        assert run("""\
+            def f(lock):
+                with lock:
+                    pass
+        """) == []
+
+
+class TestL003SharedStateWrites:
+    def test_unguarded_write_flagged(self):
+        found = run("""\
+            class Tracer:
+                def bump(self):
+                    self.dropped += 1
+        """)
+        assert codes(found) == ["L003"]
+        assert "Tracer.bump" in found[0].message
+
+    def test_guarded_write_passes(self):
+        assert run("""\
+            class MetricsRegistry:
+                def bump(self):
+                    with self._create_lock:
+                        self.total = 1
+        """) == []
+
+    def test_init_is_exempt(self):
+        assert run("""\
+            class FetchScheduler:
+                def __init__(self):
+                    self.pending = []
+        """) == []
+
+    def test_thread_local_is_exempt(self):
+        assert run("""\
+            class Tracer:
+                def reset_stack(self):
+                    self._local.stack = []
+        """) == []
+
+    def test_other_classes_not_covered(self):
+        assert run("""\
+            class Counter:
+                def bump(self):
+                    self.n += 1
+        """) == []
+
+    def test_subscript_write_not_flagged(self):
+        assert run("""\
+            class CachingSource:
+                def put(self, key, value):
+                    self._cache[key] = value
+        """) == []
+
+    def test_lock_scope_does_not_leak_across_functions(self):
+        found = run("""\
+            class Tracer:
+                def locked(self):
+                    with self._lock:
+                        def helper():
+                            self.dropped = 0
+                        helper()
+        """)
+        assert codes(found) == ["L003"]
+
+    def test_nested_with_counts(self):
+        assert run("""\
+            class Tracer:
+                def deep(self):
+                    with self._lock:
+                        with open("x") as f:
+                            self.dropped = 0
+        """) == []
+
+
+class TestL004Randomness:
+    def test_module_function_in_core(self):
+        found = run("""\
+            import random
+            x = random.random()
+        """, path="src/repro/core/query/pick.py")
+        assert codes(found) == ["L004"]
+
+    def test_unseeded_random_instance(self):
+        found = run("""\
+            from random import Random
+            rng = Random()
+        """, path="src/repro/core/pick.py")
+        assert codes(found) == ["L004"]
+
+    def test_seeded_random_is_fine(self):
+        assert run("""\
+            import random
+            rng = random.Random(42)
+            x = rng.random()
+        """, path="src/repro/core/pick.py") == []
+
+    def test_rule_inactive_outside_core(self):
+        assert run("""\
+            import random
+            x = random.random()
+        """, path="src/repro/workloads/pick.py") == []
+
+
+class TestSuppression:
+    def test_bare_noqa(self):
+        assert run("""\
+            import time
+            t = time.time()  # noqa
+        """) == []
+
+    def test_coded_noqa(self):
+        assert run("""\
+            import time
+            t = time.time()  # noqa: L001
+        """) == []
+
+    def test_wrong_code_does_not_suppress(self):
+        found = run("""\
+            import time
+            t = time.time()  # noqa: L002
+        """)
+        assert codes(found) == ["L001"]
+
+    def test_multiple_codes(self):
+        assert run("""\
+            import time
+            t = time.time()  # noqa: L002, L001
+        """) == []
+
+
+class TestEntryPoints:
+    def test_syntax_error_reported_not_raised(self):
+        found = lint_source("def broken(:\n", "x.py")
+        assert codes(found) == ["L000"]
+
+    def test_rule_registry_documented(self):
+        assert set(LINT_RULES) == {"L001", "L002", "L003", "L004"}
+        assert all(LINT_RULES.values())
+
+    def test_lint_file_reads_real_module(self):
+        assert lint_file("src/repro/obs/timing.py") == []
+
+    def test_repo_source_tree_is_clean(self):
+        """The acceptance gate: `repro lint src/` passes on this tree."""
+        assert lint_paths(["src"]) == []
+
+    def test_lint_paths_accepts_single_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        found = lint_paths([str(bad)])
+        assert codes(found) == ["L001"]
+        assert found[0].file == str(bad)
+        assert found[0].line == 2

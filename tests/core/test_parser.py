@@ -177,3 +177,68 @@ class TestRoundtrip:
         )
         reparsed = parse_query(original.signature())
         assert reparsed.signature() == original.signature()
+
+
+class TestErrorSpans:
+    """Parse errors carry a (offset, length) span into the original
+    text so downstream tools (``repro check``) can point at the
+    offending token."""
+
+    def test_unknown_table_span_covers_token(self):
+        text = "SELECT * FROM protein"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        offset, length = info.value.span
+        assert text[offset:offset + length] == "protein"
+
+    def test_unexpected_end_points_past_text(self):
+        text = "SELECT * WHERE value_nm <"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        assert info.value.span == (len(text), 0)
+
+    def test_similarity_threshold_span(self):
+        text = "SELECT * SIMILAR TO 'CCO' >= 1.5"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        offset, length = info.value.span
+        assert text[offset:offset + length] == "1.5"
+
+    def test_span_survives_query_error_round_trip(self):
+        """The span rides on QueryError as a plain tuple, so it
+        survives re-wrapping without importing repro.analysis."""
+        from repro.errors import QueryError
+
+        with pytest.raises(ParseError) as info:
+            parse_query("SELECT * FROM protein")
+        rewrapped = QueryError(str(info.value), span=info.value.span)
+        assert rewrapped.span == info.value.span == (14, 7)
+
+    def test_errors_without_location_have_no_span(self):
+        # Build-time validation errors (raised by Query itself) have
+        # no token to point at; the analyzer recovers a span there.
+        with pytest.raises(ParseError) as info:
+            parse_query("SELECT ffamily")
+        assert info.value.span is None
+
+
+class TestTokenize:
+    def test_tokens_carry_offsets(self):
+        from repro.core.query.parser import tokenize
+
+        text = "SELECT * FROM bindings"
+        tokens = tokenize(text)
+        assert [t.text for t in tokens] == ["SELECT", "*", "FROM",
+                                            "bindings"]
+        for token in tokens:
+            offset, length = token.span
+            assert text[offset:offset + length] == token.text
+
+    def test_string_token_span_includes_quotes(self):
+        from repro.core.query.parser import tokenize
+
+        text = "SELECT * IN SUBTREE 'clade_1'"
+        token = tokenize(text)[-1]
+        assert token.kind == "string"
+        offset, length = token.span
+        assert text[offset:offset + length] == "'clade_1'"

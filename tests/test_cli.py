@@ -167,3 +167,86 @@ class TestObservabilityCommands:
         assert "spans" in payload
         assert any(name.startswith("query.")
                    for name in payload["spans"])
+
+
+class TestCheckCommand:
+    def test_clean_query_passes(self, capsys):
+        assert main(["check",
+                     "SELECT count(*) FROM bindings"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis: ok" in out
+        assert "0 error(s)" in out
+
+    def test_unknown_column_fails_with_hint(self, capsys):
+        assert main(["check", "SELECT ffamily FROM proteins"]) == 1
+        out = capsys.readouterr().out
+        assert "DTQL002" in out
+        assert "did you mean 'family'" in out
+        assert "@7+7" in out  # span points at the misspelt token
+
+    def test_warnings_do_not_fail(self, capsys):
+        assert main(["check",
+                     "SELECT * WHERE value_nm < 1 "
+                     "AND value_nm > 2"]) == 0
+        assert "DTQL201" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["check", "--json",
+                     "SELECT * WHERE value_nm < 1 "
+                     "AND value_nm > 2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["provably_empty"] is True
+        assert payload[0]["diagnostics"][0]["code"] == "DTQL201"
+        assert payload[0]["diagnostics"][0]["span"] == [15, 8]
+
+    def test_docs_examples_are_valid(self, capsys):
+        """The documented example queries must all pass `repro check`."""
+        assert main(["check", "--file", "docs/DTQL.md"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_file_without_queries_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.md"
+        empty.write_text("no code fences here\n")
+        assert main(["check", "--file", str(empty)]) == 2
+        assert "no ```sql blocks" in capsys.readouterr().err
+
+    def test_missing_input_is_an_error(self, capsys):
+        assert main(["check"]) == 2
+        assert capsys.readouterr().err
+
+
+class TestLintCommand:
+    def test_source_tree_is_clean(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_default_path_is_src(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 violation(s) in src" in capsys.readouterr().out
+
+    def test_violation_fails_with_location(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "L001" in out
+        assert f"{bad}:2:" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("lock.acquire()\n")
+        assert main(["lint", "--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "L002"
+        assert payload[0]["line"] == 1
+
+    def test_rules_listing(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("L001", "L002", "L003", "L004"):
+            assert code in out
