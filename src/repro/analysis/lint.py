@@ -20,6 +20,10 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           (paths through ``_local``) is exempt.
 ``L004``  In ``core`` paths: no module-level ``random.*`` functions
           (global unseeded state) and no ``Random()`` without a seed.
+``L005``  No silently swallowed source faults: an ``except`` naming a
+          ``SourceError``-family exception whose body is only ``pass``
+          / ``...`` hides degradation the resilience layer must flag
+          (retry, record a breaker failure, or annotate a status).
 ========  ==============================================================
 
 Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
@@ -41,6 +45,7 @@ LINT_RULES: dict[str, str] = {
     "L002": "bare Lock.acquire() without 'with'",
     "L003": "unguarded attribute write to a scheduler-shared class",
     "L004": "unseeded randomness in core paths",
+    "L005": "source fault silently swallowed (except ...: pass)",
 }
 
 #: Fully-dotted callables that read the wall clock.
@@ -62,6 +67,16 @@ _SHARED_CLASSES = frozenset({
     "MetricsRegistry",
     "Tracer",
     "FetchScheduler",
+})
+
+#: The SourceError family: swallowing any of these hides degradation.
+_SOURCE_ERRORS = frozenset({
+    "SourceError",
+    "SourceUnavailableError",
+    "RateLimitError",
+    "BreakerOpenError",
+    "DeadlineExceededError",
+    "BorrowTimeoutError",
 })
 
 #: Modules whose names we resolve through imports.
@@ -172,6 +187,45 @@ class _Visitor(ast.NodeVisitor):
                     f"module-level {resolved}() uses global unseeded "
                     "state; draw from a seeded random.Random instance",
                 ))
+        self.generic_visit(node)
+
+    # -- L005: swallowed source faults -------------------------------------
+
+    @staticmethod
+    def _caught_names(type_node: ast.expr | None) -> list[str]:
+        """Terminal exception names of an ``except`` clause."""
+        if type_node is None:
+            return []
+        elements = (type_node.elts if isinstance(type_node, ast.Tuple)
+                    else [type_node])
+        names = []
+        for element in elements:
+            if isinstance(element, ast.Attribute):
+                names.append(element.attr)
+            elif isinstance(element, ast.Name):
+                names.append(element.id)
+        return names
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        return all(
+            isinstance(statement, ast.Pass)
+            or (isinstance(statement, ast.Expr)
+                and isinstance(statement.value, ast.Constant)
+                and statement.value.value is Ellipsis)
+            for statement in body
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        caught = [name for name in self._caught_names(node.type)
+                  if name in _SOURCE_ERRORS]
+        if caught and self._swallows(node.body):
+            self.findings.append((
+                "L005", node.lineno,
+                f"except {caught[0]}: pass swallows a source fault; "
+                "retry it, feed the breaker, or flag the result "
+                "degraded",
+            ))
         self.generic_visit(node)
 
     # -- L003: shared-state writes -----------------------------------------

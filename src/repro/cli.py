@@ -13,7 +13,9 @@ Offers the zero-code tour of the system:
 * ``similar`` — structural similarity search around a SMILES probe;
 * ``export``  — write the world as FASTA / Newick / SMILES / CSV;
 * ``check``   — static semantic analysis of DTQL (no world is built);
-* ``lint``    — repository invariant lint rules over Python sources.
+* ``lint``    — repository invariant lint rules over Python sources;
+* ``chaos``   — replay a mobile tap session under a seeded fault
+  scenario with circuit breakers, deadlines, and degradation on.
 
 Every command builds the same deterministic world from ``--seed``
 ``--leaves`` ``--ligands``, so results are reproducible and commands
@@ -385,6 +387,88 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if diagnostics else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.sources import (
+        BreakerConfig,
+        scenario_schedules,
+        wrap_registry,
+    )
+
+    with _fresh_observability() as metrics:
+        dataset = _build_world(args)
+        tracer = obs.Tracer(clock=dataset.clock)
+        obs.set_tracer(tracer)
+        drugtree = dataset.drugtree()
+        schedules = scenario_schedules(args.scenario, seed=args.seed)
+        registry = wrap_registry(dataset.registry, schedules)
+        scheduler = FetchScheduler(
+            registry, clock=dataset.clock,
+            breaker_config=BreakerConfig(
+                failure_threshold=args.breaker_threshold,
+                reset_timeout_s=args.breaker_reset_s,
+            ),
+        )
+        server = DrugTreeServer(
+            drugtree,
+            ServerConfig(tap_deadline_s=args.deadline),
+            federation=scheduler,
+        )
+        session_id, _ = server.open_session()
+        clades = dataset.family.clade_names
+        proteins = list(dataset.family.protein_ids)
+        outcomes = {"fresh": 0, "degraded": 0, "stale": 0, "failed": 0}
+        for tap in range(args.taps):
+            try:
+                if tap % 3 == 0:
+                    response = server.navigate(
+                        session_id, clades[tap % len(clades)]
+                    )
+                elif tap % 3 == 1:
+                    response = server.protein_details(
+                        session_id, proteins[tap % len(proteins)]
+                    )
+                else:
+                    response = server.query(
+                        session_id,
+                        "SELECT protein_id, method FROM proteins",
+                    )
+                outcomes[response.status] += 1
+            except DrugTreeError:
+                outcomes["failed"] += 1
+            dataset.clock.advance(args.think_s)
+        server.close_session(session_id)
+
+        answered = args.taps - outcomes["failed"]
+        print(f"scenario {args.scenario!r}, seed {args.seed}: "
+              f"{args.taps} taps over "
+              f"{dataset.clock.now():.0f}s virtual")
+        table = TextTable(["outcome", "taps"])
+        for name, count in outcomes.items():
+            table.add_row(name, count)
+        print(table.render())
+        print(f"-- answered {answered}/{args.taps} "
+              f"({answered / args.taps:.0%}); "
+              f"breaker trips {scheduler.breakers.trips()}, "
+              f"deadline cancels "
+              f"{scheduler.stats.deadline_cancelled}, "
+              f"breaker skips {scheduler.stats.breaker_skips}")
+        snapshot = scheduler.breakers.snapshot()
+        if snapshot:
+            print("-- breakers now: " + ", ".join(
+                f"{name}={state}"
+                for name, state in snapshot.items()
+            ))
+        if args.json:
+            print(json.dumps({
+                "scenario": args.scenario,
+                "outcomes": outcomes,
+                "breakers": snapshot,
+                "scheduler": scheduler.stats.snapshot(),
+                "counters": metrics.snapshot()["counters"],
+            }, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import export_dataset
 
@@ -477,8 +561,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable diagnostics")
     check.set_defaults(handler=_cmd_check)
 
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay mobile taps under a seeded fault scenario")
+    _add_world_options(chaos)
+    chaos.add_argument("scenario", nargs="?", default="cascade",
+                       choices=("calm", "blackout", "flaky",
+                                "rushhour", "cascade"))
+    chaos.add_argument("--taps", type=int, default=30,
+                       help="interactions to replay (default 30)")
+    chaos.add_argument("--deadline", type=float, default=1.5,
+                       help="virtual-seconds budget per tap "
+                            "(default 1.5)")
+    chaos.add_argument("--think-s", type=float, default=3.0,
+                       help="virtual think time between taps "
+                            "(default 3.0)")
+    chaos.add_argument("--breaker-threshold", type=int, default=3)
+    chaos.add_argument("--breaker-reset-s", type=float, default=10.0)
+    chaos.add_argument("--json", action="store_true",
+                       help="emit outcomes and counters as JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
+
     lint = commands.add_parser(
-        "lint", help="repository invariant lint rules (L001-L004)")
+        "lint", help="repository invariant lint rules (L001-L005)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories (default: src)")
     lint.add_argument("--json", action="store_true",

@@ -21,7 +21,7 @@ optimized-vs-naive result-equivalence tests meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bio.distance import distance_matrix
@@ -119,6 +119,13 @@ class IntegrationReport:
     #: Virtual seconds the scheduler saved versus sequential dispatch.
     overlap_saved_s: float = 0.0
     wall_time_s: float = 0.0
+    #: Record kind -> fresh/partial/missing, filled when the concurrent
+    #: mode ran against a breaker-enabled scheduler (resilient path).
+    statuses: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        return any(status != "fresh" for status in self.statuses.values())
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -130,6 +137,8 @@ class IntegrationReport:
             "virtual_latency_s": round(self.virtual_latency_s, 4),
             "overlap_saved_s": round(self.overlap_saved_s, 4),
             "wall_time_s": round(self.wall_time_s, 6),
+            "statuses": dict(self.statuses),
+            "degraded": self.degraded,
         }
 
 
@@ -228,15 +237,30 @@ class IntegrationPipeline:
         with tracer.span("integrate.build_drugtree", mode=self.mode,
                          proteins=len(protein_ids)) as span, \
                 WallTimer() as timer, Stopwatch(clock) as virtual:
+            # With a breaker-enabled scheduler the concurrent mode
+            # degrades instead of raising: sources that are dark come
+            # back flagged per kind, and the overlay is built from
+            # whatever answered.
+            resilient = (self.mode == "concurrent"
+                         and getattr(self.scheduler, "breakers", None)
+                         is not None)
             if self.mode == "concurrent":
                 # The three per-protein pulls are independent and hit
                 # three distinct sources: one scatter/gather batch.
+                requests = [
+                    (KIND_PROTEIN, protein_ids),
+                    (KIND_ANNOTATION, protein_ids),
+                    (KIND_ACTIVITY_BY_PROTEIN, protein_ids),
+                ]
                 with tracer.span("integrate.fetch_overlapped"):
-                    gathered = self.scheduler.fetch_all([
-                        (KIND_PROTEIN, protein_ids),
-                        (KIND_ANNOTATION, protein_ids),
-                        (KIND_ACTIVITY_BY_PROTEIN, protein_ids),
-                    ])
+                    if resilient:
+                        outcome = self.scheduler.fetch_all_resilient(
+                            requests
+                        )
+                        gathered = outcome.records
+                        report.statuses.update(outcome.statuses)
+                    else:
+                        gathered = self.scheduler.fetch_all(requests)
                 entries = gathered[KIND_PROTEIN]
                 annotations = gathered[KIND_ANNOTATION]
                 activity_map = gathered[KIND_ACTIVITY_BY_PROTEIN]
@@ -267,7 +291,13 @@ class IntegrationPipeline:
                 {record.ligand_id for record in all_records}
             )
             with tracer.span("integrate.fetch_compounds"):
-                if self.mode == "concurrent":
+                if resilient:
+                    outcome = self.scheduler.fetch_all_resilient(
+                        [(KIND_COMPOUND, ligand_ids)]
+                    )
+                    compounds = outcome.records.get(KIND_COMPOUND, {})
+                    report.statuses.update(outcome.statuses)
+                elif self.mode == "concurrent":
                     # One kind, but its pages still dispatch in parallel.
                     compounds = self.scheduler.fetch_many(KIND_COMPOUND,
                                                           ligand_ids)
@@ -310,5 +340,7 @@ class IntegrationPipeline:
         metrics.counter("integrate.runs").inc()
         metrics.counter("integrate.roundtrips").inc(report.roundtrips)
         metrics.counter("integrate.bindings").inc(report.bindings)
+        if report.degraded:
+            metrics.counter("integrate.degraded_runs").inc()
         metrics.histogram("integrate.wall_s").observe(report.wall_time_s)
         return drugtree, report

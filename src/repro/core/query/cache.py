@@ -17,6 +17,13 @@ in-memory work, no table or source access.
 Any mutation of an overlay table invalidates the whole cache (DrugTree
 workloads are read-dominated; finer-grained invalidation is future
 work, as it was for the poster).
+
+Invalidated and LRU-evicted entries are not discarded outright: they
+move to a bounded *stale* store. When the federation cannot answer — a
+source in an outage, a tripped circuit breaker, an expired deadline —
+the engine may call :meth:`SemanticCache.lookup_stale` and serve the
+last known result, clearly flagged ``stale`` (see docs/RESILIENCE.md).
+An answer that is seconds out of date beats no answer on a phone.
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ class CacheHit:
     """A cache answer plus how it was derived."""
 
     rows: list[dict[str, Any]]
-    kind: str  # "exact" | "subsumed"
+    kind: str  # "exact" | "subsumed" | "stale"
     source_signature: str
 
 
@@ -56,8 +63,12 @@ class SemanticCache:
         self.labeling = labeling
         self.capacity = capacity
         self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        #: Last-known results displaced by invalidation or LRU
+        #: eviction; servable only through :meth:`lookup_stale`.
+        self._stale: OrderedDict[str, _Entry] = OrderedDict()
         self.exact_hits = 0
         self.subsumption_hits = 0
+        self.stale_hits = 0
         self.misses = 0
         self.invalidations = 0
 
@@ -93,6 +104,26 @@ class SemanticCache:
                 return CacheHit(rows, "subsumed", signature)
         self.misses += 1
         return None
+
+    def lookup_stale(self, query: Query) -> CacheHit | None:
+        """Last-known result for *query* from the stale store.
+
+        The degradation path: called only when live execution cannot
+        answer (open breakers, expired deadline, dark sources). A live
+        entry still wins if one exists; otherwise an exact-signature
+        stale entry is served, flagged ``"stale"`` so callers surface
+        the freshness downgrade instead of hiding it.
+        """
+        live = self._entries.get(query.signature())
+        if live is not None:
+            return CacheHit(list(live.rows), "stale", query.signature())
+        entry = self._stale.get(query.signature())
+        if entry is None:
+            return None
+        self._stale.move_to_end(query.signature())
+        self.stale_hits += 1
+        get_metrics().counter("semantic_cache.stale_hits").inc()
+        return CacheHit(list(entry.rows), "stale", query.signature())
 
     def _subsumes(self, cached: Query, query: Query) -> bool:
         """Is the new query's result provably contained in *cached*'s?"""
@@ -173,13 +204,26 @@ class SemanticCache:
         signature = query.signature()
         self._entries[signature] = _Entry(query, list(rows))
         self._entries.move_to_end(signature)
+        self._stale.pop(signature, None)  # live entry shadows stale
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted_signature, evicted = self._entries.popitem(last=False)
+            self._demote(evicted_signature, evicted)
 
     def invalidate(self) -> None:
+        # Demote rather than discard: an invalidated entry is no longer
+        # a correct answer, but it is still the *last known* one, which
+        # the degradation path may serve (flagged) when sources are dark.
+        for signature, entry in self._entries.items():
+            self._demote(signature, entry)
         self._entries.clear()
         self.invalidations += 1
         get_metrics().counter("semantic_cache.invalidations").inc()
+
+    def _demote(self, signature: str, entry: _Entry) -> None:
+        self._stale[signature] = entry
+        self._stale.move_to_end(signature)
+        while len(self._stale) > self.capacity:
+            self._stale.popitem(last=False)
 
     @property
     def hit_rate(self) -> float:
@@ -190,8 +234,10 @@ class SemanticCache:
     def stats(self) -> dict[str, float]:
         return {
             "entries": len(self._entries),
+            "stale_entries": len(self._stale),
             "exact_hits": self.exact_hits,
             "subsumption_hits": self.subsumption_hits,
+            "stale_hits": self.stale_hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
             "hit_rate": round(self.hit_rate, 4),

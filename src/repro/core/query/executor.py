@@ -57,7 +57,12 @@ from repro.core.query.physical import (
     TopKOp,
 )
 from repro.core.query.planner import Planner, PlannerConfig, PlanReport
-from repro.errors import PlanError, QueryError
+from repro.errors import (
+    BorrowTimeoutError,
+    PlanError,
+    QueryError,
+    SourceError,
+)
 from repro.obs import (
     AnalyzeReport,
     InstrumentedOp,
@@ -66,6 +71,7 @@ from repro.obs import (
     get_metrics,
     get_tracer,
 )
+from repro.sources.resilience import STATUS_FRESH, Deadline
 from repro.storage.index import SortedIndex
 
 
@@ -107,11 +113,18 @@ class QueryResult:
 
     rows: list[dict[str, Any]]
     plan: PlanReport | None = None
-    cache_outcome: str = "miss"  # "miss" | "exact" | "subsumed" | "off"
+    #: "miss" | "exact" | "subsumed" | "stale" | "off"
+    cache_outcome: str = "miss"
     counters: dict[str, Any] = field(default_factory=dict)
     wall_time_s: float = 0.0
     similarity_candidates: int = 0
     substructure_candidates: int = 0
+    #: Record kind -> fresh/partial/missing when the resilient fetch
+    #: path ran; empty otherwise.
+    resilience: dict[str, str] = field(default_factory=dict)
+    #: True when any part of the answer is not fresh-and-complete
+    #: (partial/missing remote details, or a stale cache serve).
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -155,6 +168,10 @@ class QueryEngine:
         self.tracer = tracer
         self.metrics = metrics
         self._analyzer = None  # built lazily; see the analyzer property
+        # Per-query fetch context, consumed by _remote_fetch_op during
+        # lowering (set around plan/run, cleared in a finally).
+        self._fetch_deadline: Deadline | None = None
+        self._fetch_statuses: dict[str, str] | None = None
 
     def _obs_tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
@@ -196,8 +213,40 @@ class QueryEngine:
         from repro.analysis.dtql import empty_result_rows
         return empty_result_rows(query)
 
-    def execute(self, query: Query | str) -> QueryResult:
-        """Run a query (AST or DTQL text)."""
+    def _as_deadline(self, deadline) -> Deadline | None:
+        """Accept a :class:`Deadline` or a float budget in virtual
+        seconds (the convenient form for mobile taps and the CLI)."""
+        if deadline is None or isinstance(deadline, Deadline):
+            return deadline
+        clock = getattr(self.federation, "clock", None)
+        if clock is None:
+            raise QueryError(
+                "a numeric deadline needs a federated engine "
+                "(the budget is measured on the scheduler's clock)"
+            )
+        return Deadline(clock, float(deadline))
+
+    def _resilience_active(self, deadline) -> bool:
+        """Degrade-don't-raise applies when the caller set a deadline
+        or the scheduler runs circuit breakers; plain engines keep the
+        historical raise-on-fault behaviour (and zero overhead)."""
+        if self.federation is None:
+            return False
+        return (deadline is not None
+                or getattr(self.federation, "breakers", None) is not None)
+
+    def execute(self, query: Query | str,
+                deadline: Deadline | float | None = None) -> QueryResult:
+        """Run a query (AST or DTQL text).
+
+        With *deadline* (a :class:`Deadline` or a virtual-seconds
+        budget), remote fetches are cancelled once the budget is gone
+        and the answer degrades — per-kind statuses in
+        :attr:`QueryResult.resilience` — instead of stalling. When live
+        execution fails entirely, the engine serves the last known
+        result from the semantic cache's stale store, flagged
+        ``cache_outcome == "stale"``.
+        """
         text = query if isinstance(query, str) else None
         if isinstance(query, str):
             query = parse_query(query)
@@ -244,30 +293,74 @@ class QueryEngine:
                         wall_time_s=wall,
                     )
 
-            with tracer.span("query.resolve_filters"):
-                ligand_keys, candidates, sub_candidates = \
-                    self._resolve_ligand_filters(query)
-            # Refresh the estimator if statistics went stale (bulk loads).
-            self.planner.estimator = CardinalityEstimator(
-                self.drugtree.statistics
-            )
-            with tracer.span("query.plan"):
-                plan = self.planner.plan(query, similar_keys=ligand_keys)
-            counters = ExecCounters()
-            physical = self._to_physical(plan.logical, counters)
-            with tracer.span("query.run") as run_span:
-                rows = list(physical.rows())
-                if isinstance(plan.logical, LogicalEmpty):
-                    # The rewriter proved the WHERE empty and dropped
-                    # the whole tree, aggregates included; restore the
-                    # SQL shape (count→0, mean→NULL) the naive engine
-                    # and the analyzer short-circuit both produce.
-                    rows = self._empty_rows(query)
-                run_span.set("rows", len(rows))
-                run_span.set("rows_scanned", counters.rows_scanned)
+            resilient = self._resilience_active(deadline)
+            deadline = self._as_deadline(deadline)
+            statuses: dict[str, str] = {}
+            self._fetch_deadline = deadline
+            self._fetch_statuses = statuses if resilient else None
+            try:
+                with tracer.span("query.resolve_filters"):
+                    ligand_keys, candidates, sub_candidates = \
+                        self._resolve_ligand_filters(query)
+                # Refresh the estimator if statistics went stale
+                # (bulk loads).
+                self.planner.estimator = CardinalityEstimator(
+                    self.drugtree.statistics
+                )
+                with tracer.span("query.plan"):
+                    plan = self.planner.plan(query,
+                                             similar_keys=ligand_keys)
+                counters = ExecCounters()
+                physical = self._to_physical(plan.logical, counters)
+                with tracer.span("query.run") as run_span:
+                    rows = list(physical.rows())
+                    if isinstance(plan.logical, LogicalEmpty):
+                        # The rewriter proved the WHERE empty and
+                        # dropped the whole tree, aggregates included;
+                        # restore the SQL shape (count→0, mean→NULL)
+                        # the naive engine and the analyzer
+                        # short-circuit both produce.
+                        rows = self._empty_rows(query)
+                    run_span.set("rows", len(rows))
+                    run_span.set("rows_scanned", counters.rows_scanned)
+            except BorrowTimeoutError:
+                raise  # a scheduler bug, never papered over
+            except SourceError:
+                stale = (self.cache.lookup_stale(query)
+                         if resilient and self.config.use_semantic_cache
+                         else None)
+                if stale is None:
+                    raise
+                # Last line of degradation: the live answer is gone,
+                # but the last known one is not. Serve it, flagged.
+                wall = timer.stop()
+                span.set("cache", "stale")
+                span.set("rows", len(stale.rows))
+                metrics.counter("query.served_stale").inc()
+                metrics.counter("query.degraded_results").inc()
+                metrics.histogram("query.wall_s").observe(wall)
+                metrics.counter("query.rows_returned").inc(
+                    len(stale.rows)
+                )
+                return QueryResult(
+                    rows=stale.rows,
+                    cache_outcome="stale",
+                    wall_time_s=wall,
+                    degraded=True,
+                )
+            finally:
+                self._fetch_deadline = None
+                self._fetch_statuses = None
 
-            if self.config.use_semantic_cache:
+            degraded = any(status != STATUS_FRESH
+                           for status in statuses.values())
+            # A degraded answer is *not* cached: the cache must never
+            # upgrade a partial result to a future "fresh" hit.
+            if self.config.use_semantic_cache and not degraded:
                 self.cache.store(query, rows)
+            if degraded:
+                span.set("degraded", True)
+                metrics.counter("query.degraded_results").inc()
 
             wall = timer.stop()
             span.set("cache",
@@ -288,6 +381,8 @@ class QueryEngine:
             wall_time_s=wall,
             similarity_candidates=candidates,
             substructure_candidates=sub_candidates,
+            resilience=dict(statuses),
+            degraded=degraded,
         )
 
     def explain(self, query: Query | str) -> str:
@@ -298,7 +393,8 @@ class QueryEngine:
         plan = self.planner.plan(query, similar_keys=ligand_keys)
         return plan.explain()
 
-    def analyze(self, query: Query | str) -> AnalyzeReport:
+    def analyze(self, query: Query | str,
+                deadline: Deadline | float | None = None) -> AnalyzeReport:
         """EXPLAIN ANALYZE: execute with per-operator instrumentation.
 
         Always executes fresh (like the SQL statement it imitates); the
@@ -354,6 +450,9 @@ class QueryEngine:
                 analysis=analysis_lines,
             )
 
+        resilient = self._resilience_active(deadline)
+        deadline = self._as_deadline(deadline)
+        statuses: dict[str, str] = {}
         ligand_keys, _, __ = self._resolve_ligand_filters(query)
         self.planner.estimator = CardinalityEstimator(
             self.drugtree.statistics
@@ -361,18 +460,24 @@ class QueryEngine:
         plan = self.planner.plan(query, similar_keys=ligand_keys)
         counters = ExecCounters()
         root = OperatorStats("plan")
-        physical = self._to_physical(plan.logical, counters,
-                                     probe=root, clock=clock)
+        self._fetch_deadline = deadline
+        self._fetch_statuses = statuses if resilient else None
+        try:
+            physical = self._to_physical(plan.logical, counters,
+                                         probe=root, clock=clock)
 
-        before = metrics.counter_values("source.roundtrips.")
-        scheduler_before = metrics.counter_values("scheduler.")
-        virtual_before = clock.now() if clock is not None else 0.0
-        with tracer.span("query.explain_analyze") as span, \
-                WallTimer() as timer:
-            rows = list(physical.rows())
-            if isinstance(plan.logical, LogicalEmpty):
-                rows = self._empty_rows(query)
-            span.set("rows", len(rows))
+            before = metrics.counter_values("source.roundtrips.")
+            scheduler_before = metrics.counter_values("scheduler.")
+            virtual_before = clock.now() if clock is not None else 0.0
+            with tracer.span("query.explain_analyze") as span, \
+                    WallTimer() as timer:
+                rows = list(physical.rows())
+                if isinstance(plan.logical, LogicalEmpty):
+                    rows = self._empty_rows(query)
+                span.set("rows", len(rows))
+        finally:
+            self._fetch_deadline = None
+            self._fetch_statuses = None
         virtual_s = (clock.now() - virtual_before
                      if clock is not None else 0.0)
         after = metrics.counter_values("source.roundtrips.")
@@ -392,6 +497,18 @@ class QueryEngine:
             for name, total in after.items()
         }
 
+        resilience: dict[str, Any] = {}
+        if statuses:
+            resilience["statuses"] = dict(statuses)
+            if any(status != STATUS_FRESH
+                   for status in statuses.values()):
+                resilience["degraded"] = True
+        boards = getattr(self.federation, "breakers", None)
+        if boards is not None:
+            snap = boards.snapshot()
+            if snap:
+                resilience["breakers"] = snap
+
         operators = root.children[0] if root.children else root
         self._emit_operator_spans(tracer, operators)
         return AnalyzeReport(
@@ -407,6 +524,7 @@ class QueryEngine:
             source_roundtrips=source_roundtrips,
             federation=federation,
             analysis=analysis_lines,
+            resilience=resilience,
         )
 
     def explain_analyze(self, query: Query | str) -> str:
@@ -564,7 +682,9 @@ class QueryEngine:
         )
         return RemoteFetchOp(counters, child, self.federation,
                              "protein_id", specs,
-                             lookahead=self.config.remote_lookahead)
+                             lookahead=self.config.remote_lookahead,
+                             deadline=self._fetch_deadline,
+                             statuses=self._fetch_statuses)
 
     def _scan_op(self, node: LogicalScan,
                  counters: ExecCounters) -> PhysicalOp:

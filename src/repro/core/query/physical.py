@@ -373,12 +373,19 @@ class RemoteFetchOp(PhysicalOp):
     same :meth:`FetchScheduler.fetch_all` call, so round-trips to
     different sources overlap and repeated keys coalesce. Rows whose
     record is missing at the source get ``None`` details.
+
+    With a *statuses* sink the operator uses the scheduler's resilient
+    path (``fetch_all_resilient``): per-kind degradation statuses are
+    merged into the sink (worst across flushes) instead of a source
+    fault aborting the query, and an optional *deadline* bounds the
+    virtual time the fetches may spend.
     """
 
     def __init__(self, counters: ExecCounters, child: PhysicalOp,
                  scheduler, key_column: str,
                  specs: tuple[tuple[str, str, str], ...],
-                 lookahead: int = 64) -> None:
+                 lookahead: int = 64, deadline=None,
+                 statuses: dict[str, str] | None = None) -> None:
         if lookahead < 1:
             raise QueryError("remote fetch lookahead must be positive")
         super().__init__(counters)
@@ -388,6 +395,8 @@ class RemoteFetchOp(PhysicalOp):
         #: (output column, record kind, record attribute) triples.
         self.specs = specs
         self.lookahead = lookahead
+        self.deadline = deadline
+        self.statuses = statuses
         self.batches = 0
         self.keys_fetched = 0
 
@@ -408,9 +417,8 @@ class RemoteFetchOp(PhysicalOp):
             if record.get(self.key_column) is not None
         })
         kinds = sorted({kind for _, kind, _ in self.specs})
-        fetched = self.scheduler.fetch_all(
-            [(kind, keys) for kind in kinds]
-        )
+        requests = [(kind, keys) for kind in kinds]
+        fetched = self._fetch(requests)
         self.batches += 1
         self.keys_fetched += len(keys)
         for record in buffer:
@@ -421,6 +429,27 @@ class RemoteFetchOp(PhysicalOp):
                                   if remote is not None else None)
             self.counters.rows_emitted += 1
             yield record
+
+    def _fetch(self, requests) -> dict[str, dict[str, Any]]:
+        resilient = getattr(self.scheduler, "fetch_all_resilient", None)
+        if self.statuses is not None and resilient is not None:
+            # Degrading path: missing kinds come back flagged, not
+            # raised; the engine decides what a partial answer means.
+            from repro.sources.resilience import worst_status
+
+            outcome = resilient(requests, deadline=self.deadline)
+            for kind, status in outcome.statuses.items():
+                previous = self.statuses.get(kind)
+                self.statuses[kind] = (
+                    status if previous is None
+                    else worst_status(previous, status)
+                )
+            return outcome.records
+        if self.deadline is not None:
+            return self.scheduler.fetch_all(requests,
+                                            deadline=self.deadline)
+        # Plain schedulers (tests pass fakes) only know fetch_all.
+        return self.scheduler.fetch_all(requests)
 
 
 class EmptyOp(PhysicalOp):

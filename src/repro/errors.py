@@ -40,6 +40,28 @@ class RateLimitError(SourceError):
     """The source rejected the request because of rate limiting."""
 
 
+class BreakerOpenError(SourceError):
+    """A circuit breaker is open: the call was skipped, not attempted.
+
+    Raised *without* charging any virtual latency — the whole point of
+    the breaker is that a dark source costs nothing to avoid.
+    """
+
+
+class DeadlineExceededError(SourceError):
+    """The caller's virtual-time deadline expired before (or during)
+    the fetch; remaining work was cancelled rather than charged."""
+
+
+class BorrowTimeoutError(SourceError):
+    """A coalesced (borrowed) in-flight fetch was never resolved by its
+    owning round-trip within the wall-clock borrow timeout.
+
+    This indicates a scheduler bug (the owner died without resolving
+    its flights), not a simulated source fault.
+    """
+
+
 class StorageError(DrugTreeError):
     """Local storage layer failure (schema violation, missing table, ...)."""
 

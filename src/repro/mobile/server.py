@@ -22,6 +22,7 @@ from repro.mobile.protocol import Message, delta_message, full_message
 from repro.obs import WallTimer, get_metrics, get_tracer
 from repro.sources.annotation import KIND_ANNOTATION
 from repro.sources.protein import KIND_PROTEIN
+from repro.sources.resilience import Deadline
 
 
 @dataclass(frozen=True)
@@ -39,6 +40,16 @@ class ServerConfig:
     #: Detail records retained before the prefetch cache drops the
     #: oldest entries.
     detail_cache_capacity: int = 4096
+    #: Virtual-seconds budget per tap that touches the federation;
+    #: ``None`` disables deadlines (the historical behaviour). With a
+    #: budget, remote work past it is cancelled and the response
+    #: degrades instead of stalling.
+    tap_deadline_s: float | None = None
+    #: Viewport bounds used instead of ``lod_max_depth`` /
+    #: ``lod_max_nodes`` while the federation is degraded (open
+    #: breakers): ship a smaller tree rather than an error.
+    degraded_lod_max_depth: int = 2
+    degraded_lod_max_nodes: int = 60
     engine: EngineConfig = field(default_factory=EngineConfig)
 
 
@@ -49,6 +60,10 @@ class ServerResponse:
     message: Message
     server_wall_s: float
     payload_rows: int = 0
+    #: "fresh" for a normal response; "degraded" when the answer was
+    #: downgraded (partial details, reduced LOD), "stale" when served
+    #: from a last-known copy.
+    status: str = "fresh"
 
 
 @dataclass
@@ -128,6 +143,48 @@ class DrugTreeServer:
         except KeyError:
             raise MobileError(f"unknown session {session_id!r}") from None
 
+    # -- degradation helpers --------------------------------------------------
+
+    def _resilient_taps(self) -> bool:
+        """Do taps degrade (deadline set, or breaker-enabled scheduler)
+        instead of raising on source faults?"""
+        if self.federation is None:
+            return False
+        return (self.config.tap_deadline_s is not None
+                or getattr(self.federation, "breakers", None) is not None)
+
+    def _federation_degraded(self) -> bool:
+        """Any breaker currently not closed ⇒ serve smaller, not slower."""
+        boards = getattr(self.federation, "breakers", None)
+        if boards is None:
+            return False
+        return boards.open_fraction() > 0.0
+
+    def _tap_deadline(self) -> Deadline | None:
+        if (self.config.tap_deadline_s is None
+                or self.federation is None):
+            return None
+        return Deadline(self.federation.clock,
+                        self.config.tap_deadline_s)
+
+    def _local_protein_card(self,
+                            protein_id: str) -> dict[str, Any] | None:
+        """The overlay's own columns for a protein (fallback card)."""
+        table = self.drugtree.tables.get("proteins")
+        if table is None:
+            return None
+        as_dict = table.schema.row_as_dict
+        index = table.index_on("protein_id")
+        if index is not None:
+            for row_id in index.lookup(protein_id):
+                return as_dict(table.get(row_id))
+            return None
+        for row in table.scan_rows():
+            record = as_dict(row)
+            if record.get("protein_id") == protein_id:
+                return record
+        return None
+
     # -- interactions ---------------------------------------------------------------
 
     def navigate(self, session_id: str, focus: str) -> ServerResponse:
@@ -161,9 +218,18 @@ class DrugTreeServer:
         with get_tracer().span("mobile.query",
                                session=session_id) as span, \
                 WallTimer() as timer:
-            result = self.engine.execute(dtql)
+            result = self.engine.execute(dtql,
+                                         deadline=self._tap_deadline())
             payload = {"rows": result.rows,
                        "cache": result.cache_outcome}
+            status = "fresh"
+            if result.degraded:
+                status = ("stale" if result.cache_outcome == "stale"
+                          else "degraded")
+                payload["status"] = status
+                if result.resilience:
+                    payload["resilience"] = dict(result.resilience)
+                get_metrics().counter("mobile.degraded_responses").inc()
             message = full_message(payload,
                                    compress=self.config.compress)
             span.set("rows", len(result.rows))
@@ -172,6 +238,7 @@ class DrugTreeServer:
             message=message,
             server_wall_s=timer.elapsed_s,
             payload_rows=len(result.rows),
+            status=status,
         ))
 
     def search_sequence(self, session_id: str, residues: str,
@@ -217,6 +284,11 @@ class DrugTreeServer:
         Normally a cache hit: the viewport prefetch already pulled the
         structure and annotation records for every visible leaf. A miss
         (protein outside the rendered viewport) fetches on demand.
+
+        When the tap is resilient (deadline set or breakers enabled)
+        and the sources cannot answer, the card degrades to the
+        overlay's own columns (flagged ``stale``) instead of erroring
+        — the phone always gets *something* for a visible protein.
         """
         self._session(session_id)  # validates
         if self.federation is None:
@@ -235,18 +307,35 @@ class DrugTreeServer:
                 details = self._details.get(protein_id)
             else:
                 metrics.counter("mobile.prefetch.hits").inc()
+            status = "fresh"
+            if details is None and self._resilient_taps():
+                card = self._local_protein_card(protein_id)
+                if card is not None:
+                    details = {
+                        "organism": card.get("organism"),
+                        "family": card.get("family"),
+                        "ec_number": card.get("ec_number"),
+                        "resolution": card.get("resolution"),
+                        "source": "local-overlay",
+                    }
+                    status = "stale"
+                    metrics.counter("mobile.degraded_responses").inc()
+                    metrics.counter("mobile.details_from_overlay").inc()
             if details is None:
                 raise MobileError(
                     f"no source has details for {protein_id!r}"
                 )
-            message = full_message({"protein_id": protein_id,
-                                    "details": details},
+            payload = {"protein_id": protein_id, "details": details}
+            if status != "fresh":
+                payload["status"] = status
+            message = full_message(payload,
                                    compress=self.config.compress)
             span.set("wire_bytes", message.wire_bytes)
         return self._account("protein_details", ServerResponse(
             message=message,
             server_wall_s=timer.elapsed_s,
             payload_rows=1,
+            status=status,
         ))
 
     # -- rendering ------------------------------------------------------------------
@@ -266,10 +355,16 @@ class DrugTreeServer:
         metrics = get_metrics()
         metrics.counter("mobile.prefetch.batches").inc()
         metrics.counter("mobile.prefetch.keys").inc(len(wanted))
-        fetched = self.federation.fetch_all([
+        requests = [
             (KIND_PROTEIN, wanted),
             (KIND_ANNOTATION, wanted),
-        ])
+        ]
+        resilient = getattr(self.federation, "fetch_all_resilient", None)
+        if resilient is not None and self._resilient_taps():
+            fetched = resilient(requests,
+                                deadline=self._tap_deadline()).records
+        else:
+            fetched = self.federation.fetch_all(requests)
         proteins = fetched.get(KIND_PROTEIN, {})
         annotations = fetched.get(KIND_ANNOTATION, {})
         for pid in wanted:
@@ -294,16 +389,34 @@ class DrugTreeServer:
     def _render(self, session: _Session, focus: str) -> ServerResponse:
         with get_tracer().span("mobile.render", focus=focus) as span, \
                 WallTimer() as timer:
+            degraded = self._federation_degraded()
             if self.config.use_lod:
+                max_depth = self.config.lod_max_depth
+                max_nodes = self.config.lod_max_nodes
+                if degraded:
+                    # Breakers are open: serve a smaller viewport now
+                    # rather than a full one after the dark sources'
+                    # timeouts (or not at all).
+                    max_depth = min(max_depth,
+                                    self.config.degraded_lod_max_depth)
+                    max_nodes = min(max_nodes,
+                                    self.config.degraded_lod_max_nodes)
                 payload = render_viewport(
                     self.drugtree, focus,
-                    max_depth=self.config.lod_max_depth,
-                    max_nodes=self.config.lod_max_nodes,
+                    max_depth=max_depth,
+                    max_nodes=max_nodes,
                 )
             else:
                 payload = render_full(self.drugtree)
+            if degraded:
+                payload["status"] = "degraded"
+                get_metrics().counter("mobile.degraded_responses").inc()
+                span.set("degraded", True)
             if (self.federation is not None
-                    and self.config.prefetch_details):
+                    and self.config.prefetch_details
+                    and not degraded):
+                # No speculative pulls into a dark federation; probes
+                # go through explicit details taps instead.
                 self._prefetch_details(self._visible_leaves(payload))
             if self.config.use_delta and session.last_payload is not None:
                 # Adaptive framing: a big viewport jump can make the
@@ -324,4 +437,5 @@ class DrugTreeServer:
             message=message,
             server_wall_s=timer.elapsed_s,
             payload_rows=len(payload.get("nodes", {})),
+            status="degraded" if degraded else "fresh",
         ))

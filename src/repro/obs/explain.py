@@ -132,6 +132,10 @@ class AnalyzeReport:
     #: and folding advisories); empty when analysis found nothing or
     #: was disabled.
     analysis: tuple[str, ...] = ()
+    #: Degradation facts of this execution: ``statuses`` (record kind →
+    #: fresh/partial/missing), ``breakers`` (source/kind → state), and
+    #: ``degraded``; empty on a clean run or without the resilient path.
+    resilience: dict[str, Any] = field(default_factory=dict)
 
     @property
     def row_estimate_error(self) -> float:
@@ -181,6 +185,26 @@ class AnalyzeReport:
             ]
             lines.append("-- fetch scheduler: " + ", ".join(parts))
         lines.extend(f"-- analysis: {line}" for line in self.analysis)
+        if self.resilience:
+            parts = []
+            statuses = self.resilience.get("statuses") or {}
+            if statuses:
+                parts.append("statuses " + ", ".join(
+                    f"{kind}={status}"
+                    for kind, status in sorted(statuses.items())
+                ))
+            breakers = self.resilience.get("breakers") or {}
+            tripped = {name: state for name, state in breakers.items()
+                       if state != "closed"}
+            if tripped:
+                parts.append("breakers " + ", ".join(
+                    f"{name}={state}"
+                    for name, state in sorted(tripped.items())
+                ))
+            if self.resilience.get("degraded"):
+                parts.append("DEGRADED")
+            if parts:
+                lines.append("-- resilience: " + "; ".join(parts))
         return "\n".join(lines)
 
     def as_dict(self) -> dict[str, Any]:
@@ -199,5 +223,6 @@ class AnalyzeReport:
             },
             "federation": dict(self.federation),
             "analysis": list(self.analysis),
+            "resilience": dict(self.resilience),
             "operators": self.operators.as_dict(),
         }

@@ -26,6 +26,18 @@ from repro.sources.base import (
     SourceStats,
     TableBackedSource,
 )
+from repro.sources.chaos import (
+    SCENARIOS,
+    ChaosEffect,
+    ChaosSource,
+    ErrorBurst,
+    FaultSchedule,
+    Flapping,
+    LatencySpike,
+    Outage,
+    scenario_schedules,
+    wrap_registry,
+)
 from repro.sources.clock import (
     ParallelRegion,
     SimulatedClock,
@@ -39,6 +51,17 @@ from repro.sources.protein import (
     ProteinStructureSource,
 )
 from repro.sources.registry import SourceRegistry
+from repro.sources.resilience import (
+    STATUS_FRESH,
+    STATUS_MISSING,
+    STATUS_PARTIAL,
+    STATUS_STALE,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+    Deadline,
+    FetchOutcome,
+)
 from repro.sources.scheduler import FetchScheduler, SchedulerStats
 from repro.sources.wrappers import (
     CachingSource,
@@ -55,15 +78,32 @@ __all__ = [
     "KIND_PROTEIN",
     "KIND_PROTEINS_BY_FAMILY",
     "KIND_PROTEINS_BY_ORGANISM",
+    "SCENARIOS",
+    "STATUS_FRESH",
+    "STATUS_MISSING",
+    "STATUS_PARTIAL",
+    "STATUS_STALE",
     "AnnotationEntry",
     "AnnotationSource",
+    "BreakerBoard",
+    "BreakerConfig",
     "CachingSource",
+    "ChaosEffect",
+    "ChaosSource",
+    "CircuitBreaker",
     "CompoundEntry",
     "DataSource",
+    "Deadline",
+    "ErrorBurst",
     "FaultModel",
+    "FaultSchedule",
+    "FetchOutcome",
     "FetchScheduler",
+    "Flapping",
     "LatencyModel",
+    "LatencySpike",
     "LigandActivitySource",
+    "Outage",
     "ParallelRegion",
     "PrefetchingSource",
     "ProteinEntry",
@@ -77,4 +117,6 @@ __all__ = [
     "Stopwatch",
     "TableBackedSource",
     "TaskTimeline",
+    "scenario_schedules",
+    "wrap_registry",
 ]

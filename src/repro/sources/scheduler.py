@@ -23,11 +23,21 @@ scatter/gather layer for this reproduction:
   are retried with exponential virtual backoff (the
   :class:`~repro.sources.wrappers.RetryingSource` semantics), and
   :class:`RateLimitError` rejections wait out the source's window a
-  bounded number of times.
+  bounded number of times. With a :class:`~repro.sources.resilience
+  .BreakerBoard` attached, a source that keeps failing trips its
+  per-``(source, kind)`` circuit breaker and later calls are refused
+  instantly (:class:`~repro.errors.BreakerOpenError`, no latency
+  charged, no retry ladder) until a half-open probe succeeds. A
+  :class:`~repro.sources.resilience.Deadline` propagates down into
+  page fetches: once the virtual budget is gone, remaining pages are
+  cancelled (:class:`~repro.errors.DeadlineExceededError`) instead of
+  blocking the caller. :meth:`fetch_all_resilient` turns both into
+  graceful degradation — partial results annotated per kind.
 
 Everything is metered: an in-flight gauge (``scheduler.inflight``),
-coalesced/page/retry counters, and per-batch spans carrying the
-overlap savings (``sequential - critical path`` virtual seconds) that
+coalesced/page/retry counters, breaker-state gauges, deadline and
+borrow-timeout counters, and per-batch spans carrying the overlap
+savings (``sequential - critical path`` virtual seconds) that
 ``EXPLAIN ANALYZE`` and ``repro stats`` surface.
 """
 
@@ -39,6 +49,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import (
+    BorrowTimeoutError,
+    BreakerOpenError,
+    DeadlineExceededError,
     RateLimitError,
     SourceError,
     SourceUnavailableError,
@@ -46,10 +59,21 @@ from repro.errors import (
 from repro.obs import get_metrics, get_tracer
 from repro.sources.clock import SimulatedClock
 from repro.sources.registry import SourceRegistry
+from repro.sources.resilience import (
+    STATUS_FRESH,
+    STATUS_MISSING,
+    STATUS_PARTIAL,
+    BreakerBoard,
+    BreakerConfig,
+    Deadline,
+    FetchOutcome,
+)
+from repro.sources.wrappers import faults_of
 
-#: Wall-clock ceiling for borrowing a result from another thread's
-#: in-flight round-trip; hitting it means the owner died without
-#: resolving its flights (a scheduler bug, not a simulated fault).
+#: Default wall-clock ceiling for borrowing a result from another
+#: thread's in-flight round-trip; hitting it means the owner died
+#: without resolving its flights (a scheduler bug, not a simulated
+#: fault). Configurable per scheduler via ``borrow_timeout_s``.
 BORROW_TIMEOUT_S = 30.0
 
 
@@ -63,6 +87,10 @@ class SchedulerStats:
     coalesced: int = 0
     retries: int = 0
     rate_limit_waits: int = 0
+    breaker_skips: int = 0
+    deadline_cancelled: int = 0
+    borrow_timeouts: int = 0
+    degraded_batches: int = 0
     elapsed_virtual_s: float = 0.0
     sequential_virtual_s: float = 0.0
 
@@ -80,6 +108,10 @@ class SchedulerStats:
             "coalesced": self.coalesced,
             "retries": self.retries,
             "rate_limit_waits": self.rate_limit_waits,
+            "breaker_skips": self.breaker_skips,
+            "deadline_cancelled": self.deadline_cancelled,
+            "borrow_timeouts": self.borrow_timeouts,
+            "degraded_batches": self.degraded_batches,
             "elapsed_virtual_s": round(self.elapsed_virtual_s, 6),
             "sequential_virtual_s": round(self.sequential_virtual_s, 6),
             "overlap_saved_s": round(self.overlap_saved_s, 6),
@@ -98,24 +130,15 @@ class _Flight:
         self.error: SourceError | None = None
 
 
-def _faults_of(source) -> object | None:
-    """The fault model behind *source*, unwrapping stacked wrappers."""
-    current = source
-    while current is not None:
-        faults = getattr(current, "faults", None)
-        if faults is not None:
-            return faults
-        current = getattr(current, "inner", None)
-    return None
-
-
 class FetchScheduler:
     """Scatter/gather dispatcher over a :class:`SourceRegistry`.
 
     ``fetch_all`` is the batch entry point: one call may name several
     kinds (hence several sources) and oversized key sets; everything is
     paged, coalesced, and dispatched concurrently. ``fetch_many`` /
-    ``fetch`` are single-kind conveniences over it.
+    ``fetch`` are single-kind conveniences over it, and
+    ``fetch_all_resilient`` is the degrade-don't-raise variant the
+    executor and mobile server use.
     """
 
     def __init__(self, registry: SourceRegistry,
@@ -124,7 +147,10 @@ class FetchScheduler:
                  max_attempts: int = 3,
                  backoff_s: float = 0.0,
                  max_rate_limit_waits: int = 8,
-                 page_size: int | None = None) -> None:
+                 page_size: int | None = None,
+                 borrow_timeout_s: float = BORROW_TIMEOUT_S,
+                 breakers: BreakerBoard | None = None,
+                 breaker_config: BreakerConfig | None = None) -> None:
         if max_workers < 1:
             raise SourceError("scheduler needs at least one worker")
         if max_attempts < 1:
@@ -135,6 +161,8 @@ class FetchScheduler:
             raise SourceError("rate-limit wait budget must be >= 0")
         if page_size is not None and page_size < 1:
             raise SourceError("page size must be positive")
+        if borrow_timeout_s <= 0:
+            raise SourceError("borrow timeout must be positive")
         if clock is None:
             sources = registry.sources()
             if not sources:
@@ -149,6 +177,12 @@ class FetchScheduler:
         self.backoff_s = backoff_s
         self.max_rate_limit_waits = max_rate_limit_waits
         self.page_size = page_size
+        self.borrow_timeout_s = borrow_timeout_s
+        #: Per-(source, kind) circuit breakers; ``None`` disables the
+        #: breaker path entirely (the zero-overhead default).
+        if breakers is None and breaker_config is not None:
+            breakers = BreakerBoard(clock, breaker_config)
+        self.breakers = breakers
         self.stats = SchedulerStats()
         self._lock = threading.Lock()
         self._inflight: dict[tuple[str, str, str], _Flight] = {}
@@ -166,13 +200,58 @@ class FetchScheduler:
 
     def fetch_all(
         self, requests: Sequence[tuple[str, Iterable[str]]],
+        deadline: Deadline | None = None,
     ) -> dict[str, dict[str, object]]:
         """Fetch several ``(kind, keys)`` requests as one overlapped batch.
 
         Returns ``{kind: {key: record}}`` with missing keys absent, like
         ``fetch_many``. Requests naming the same kind are merged;
-        duplicate keys are fetched once.
+        duplicate keys are fetched once. Any page failure (after the
+        retry budget, a tripped breaker, or an expired deadline)
+        re-raises here; use :meth:`fetch_all_resilient` to degrade
+        instead.
         """
+        results, kind_errors = self._gather(requests, deadline)
+        for error in kind_errors.values():
+            raise error
+        return results
+
+    def fetch_all_resilient(
+        self, requests: Sequence[tuple[str, Iterable[str]]],
+        deadline: Deadline | None = None,
+    ) -> FetchOutcome:
+        """Like :meth:`fetch_all`, but failures degrade instead of raise.
+
+        Every requested kind comes back annotated: ``fresh`` (all pages
+        answered), ``partial`` (some records lost to faults, breakers,
+        or the deadline), or ``missing`` (nothing could be served).
+        Only :class:`BorrowTimeoutError` — a scheduler bug, not a
+        simulated fault — still propagates.
+        """
+        results, kind_errors = self._gather(requests, deadline)
+        outcome = FetchOutcome(records=results)
+        for kind, records in results.items():
+            error = kind_errors.get(kind)
+            if error is None:
+                outcome.statuses[kind] = STATUS_FRESH
+                continue
+            outcome.statuses[kind] = (STATUS_PARTIAL if records
+                                      else STATUS_MISSING)
+            outcome.errors[kind] = str(error)
+        if outcome.degraded:
+            with self._lock:
+                self.stats.degraded_batches += 1
+            get_metrics().counter("scheduler.degraded_batches").inc()
+        return outcome
+
+    # -- the gather core ----------------------------------------------------
+
+    def _gather(
+        self, requests: Sequence[tuple[str, Iterable[str]]],
+        deadline: Deadline | None,
+    ) -> tuple[dict[str, dict[str, object]], dict[str, SourceError]]:
+        """Scatter/gather one batch; returns results + first error per
+        kind (empty dict when everything answered)."""
         metrics = get_metrics()
         wanted, dupes = self._normalize(requests)
         sources = {kind: self.registry.source_for(kind)
@@ -180,6 +259,7 @@ class FetchScheduler:
         results: dict[str, dict[str, object]] = {
             kind: {} for kind in wanted
         }
+        kind_errors: dict[str, SourceError] = {}
 
         owned, borrowed = self._claim_flights(wanted, sources)
         pages = self._paginate(owned, sources)
@@ -196,7 +276,6 @@ class FetchScheduler:
         metrics.counter("scheduler.pages").inc(len(pages))
         metrics.counter("scheduler.coalesced").inc(coalesced)
 
-        failure: SourceError | None = None
         with get_tracer().span(
             "scheduler.fetch_all",
             kinds=len(wanted), pages=len(pages), coalesced=coalesced,
@@ -211,14 +290,15 @@ class FetchScheduler:
                         futures = [
                             (kind, page,
                              pool.submit(self._run_page, region,
-                                         sources[kind], kind, page))
+                                         sources[kind], kind, page,
+                                         deadline))
                             for kind, page in pages
                         ]
                         for kind, page, future in futures:
                             try:
                                 records = future.result()
                             except SourceError as exc:
-                                failure = failure or exc
+                                kind_errors.setdefault(kind, exc)
                                 self._resolve(sources[kind], kind, page,
                                               {}, error=exc)
                             else:
@@ -237,19 +317,21 @@ class FetchScheduler:
             span.set("overlap_saved_s", round(region.overlap_saved_s, 6))
 
             for kind, key, flight in borrowed:
-                if not flight.event.wait(BORROW_TIMEOUT_S):
-                    raise SourceError(
+                if not flight.event.wait(self.borrow_timeout_s):
+                    with self._lock:
+                        self.stats.borrow_timeouts += 1
+                    metrics.counter("scheduler.borrow_timeout").inc()
+                    raise BorrowTimeoutError(
                         f"coalesced fetch of ({kind!r}, {key!r}) was "
-                        "never resolved by its owning round-trip"
+                        "never resolved by its owning round-trip "
+                        f"within {self.borrow_timeout_s:.1f}s"
                     )
                 if flight.error is not None:
-                    failure = failure or flight.error
+                    kind_errors.setdefault(kind, flight.error)
                 elif flight.found:
                     results[kind][key] = flight.value
 
-        if failure is not None:
-            raise failure
-        return results
+        return results, kind_errors
 
     # -- batch preparation --------------------------------------------------
 
@@ -326,14 +408,16 @@ class FetchScheduler:
     # -- page execution (worker threads) -------------------------------------
 
     def _run_page(self, region, source, kind: str,
-                  page: list[str]) -> dict[str, object]:
+                  page: list[str],
+                  deadline: Deadline | None) -> dict[str, object]:
         metrics = get_metrics()
         with self._lock:
             self._inflight_pages += 1
             metrics.gauge("scheduler.inflight").set(self._inflight_pages)
         try:
             with region.task():
-                return self._fetch_with_retry(source, kind, page)
+                return self._fetch_with_retry(source, kind, page,
+                                              deadline)
         finally:
             with self._lock:
                 self._inflight_pages -= 1
@@ -341,15 +425,47 @@ class FetchScheduler:
                     self._inflight_pages
                 )
 
-    def _fetch_with_retry(self, source, kind: str,
-                          page: list[str]) -> dict[str, object]:
+    def _check_deadline(self, deadline: Deadline | None,
+                        source, kind: str) -> None:
+        if deadline is None or not deadline.exceeded():
+            return
         metrics = get_metrics()
+        with self._lock:
+            self.stats.deadline_cancelled += 1
+        metrics.counter("source.deadline_exceeded").inc()
+        metrics.counter(
+            f"source.deadline_exceeded.{source.name}"
+        ).inc()
+        raise DeadlineExceededError(
+            f"deadline expired before fetching {kind!r} from "
+            f"{source.name!r} (budget {deadline.budget_s:.3f}s)"
+        )
+
+    def _fetch_with_retry(self, source, kind: str, page: list[str],
+                          deadline: Deadline | None = None,
+                          ) -> dict[str, object]:
+        metrics = get_metrics()
+        breaker = (self.breakers.breaker(source.name, kind)
+                   if self.breakers is not None else None)
         attempts = 0
         rate_waits = 0
         while True:
+            # Cancelled work costs nothing: the deadline and breaker
+            # are consulted before any latency is charged.
+            self._check_deadline(deadline, source, kind)
+            if breaker is not None and not breaker.allow():
+                with self._lock:
+                    self.stats.breaker_skips += 1
+                metrics.counter("scheduler.breaker_skips").inc()
+                raise BreakerOpenError(
+                    f"breaker open for ({source.name!r}, {kind!r}); "
+                    "call skipped without a round-trip"
+                )
             try:
-                return source.fetch_many(kind, page)
+                records = source.fetch_many(kind, page)
             except SourceUnavailableError:
+                if breaker is not None:
+                    breaker.record_failure()
                 attempts += 1
                 if attempts >= self.max_attempts:
                     raise
@@ -361,16 +477,21 @@ class FetchScheduler:
                         self.backoff_s * (2 ** (attempts - 1))
                     )
             except RateLimitError:
+                # Rate limiting is load shedding, not darkness: it
+                # does not feed the breaker.
                 rate_waits += 1
                 if rate_waits > self.max_rate_limit_waits:
                     raise
                 with self._lock:
                     self.stats.rate_limit_waits += 1
                 metrics.counter("scheduler.rate_limit_waits").inc()
-                faults = _faults_of(source)
-                window_s = getattr(faults, "window_s", None)
+                window_s = getattr(faults_of(source), "window_s", None)
                 self.clock.sleep(window_s if window_s
                                  else (self.backoff_s or 0.05))
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return records
 
     def __repr__(self) -> str:
         return (f"FetchScheduler(workers={self.max_workers}, "

@@ -1,4 +1,4 @@
-"""Tests for the repository invariant linter (L001-L004)."""
+"""Tests for the repository invariant linter (L001-L005)."""
 
 import textwrap
 
@@ -185,6 +185,70 @@ class TestL004Randomness:
         """, path="src/repro/workloads/pick.py") == []
 
 
+class TestL005SwallowedSourceFaults:
+    def test_except_pass_flagged(self):
+        found = run("""\
+            from repro.errors import SourceError
+
+            def fetch():
+                try:
+                    pull()
+                except SourceError:
+                    pass
+        """)
+        assert codes(found) == ["L005"]
+        assert "swallows" in found[0].message
+
+    def test_family_members_flagged(self):
+        found = run("""\
+            from repro.errors import SourceUnavailableError
+
+            def fetch():
+                try:
+                    pull()
+                except SourceUnavailableError:
+                    ...
+        """)
+        assert codes(found) == ["L005"]
+
+    def test_tuple_clause_flagged(self):
+        found = run("""\
+            def fetch():
+                try:
+                    pull()
+                except (ValueError, RateLimitError):
+                    pass
+        """)
+        assert codes(found) == ["L005"]
+
+    def test_handled_fault_passes(self):
+        assert run("""\
+            def fetch():
+                try:
+                    pull()
+                except SourceError:
+                    statuses["kind"] = "missing"
+        """) == []
+
+    def test_unrelated_exception_passes(self):
+        assert run("""\
+            def fetch():
+                try:
+                    pull()
+                except KeyError:
+                    pass
+        """) == []
+
+    def test_noqa_suppresses(self):
+        assert run("""\
+            def fetch():
+                try:
+                    pull()
+                except SourceError:  # noqa: L005
+                    pass
+        """) == []
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert run("""\
@@ -218,7 +282,7 @@ class TestEntryPoints:
         assert codes(found) == ["L000"]
 
     def test_rule_registry_documented(self):
-        assert set(LINT_RULES) == {"L001", "L002", "L003", "L004"}
+        assert set(LINT_RULES) == {"L001", "L002", "L003", "L004", "L005"}
         assert all(LINT_RULES.values())
 
     def test_lint_file_reads_real_module(self):

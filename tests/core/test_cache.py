@@ -158,3 +158,63 @@ class TestLifecycle:
     def test_capacity_validation(self, cache):
         with pytest.raises(QueryError):
             SemanticCache(cache.labeling, capacity=0)
+
+
+class TestStaleStore:
+    """Invalidated entries are demoted, not destroyed: the resilient
+    executor can serve them (flagged "stale") when live sources fail."""
+
+    def test_invalidation_demotes_to_stale(self, cache):
+        query = Query()
+        cache.store(query, _rows())
+        cache.invalidate()
+        assert cache.lookup(query) is None  # live cache is empty
+        stale = cache.lookup_stale(query)
+        assert stale is not None
+        assert stale.kind == "stale"
+        assert stale.rows == _rows()
+        assert cache.stale_hits == 1
+
+    def test_live_entry_wins_but_is_flagged(self, cache):
+        query = Query()
+        cache.store(query, _rows())
+        hit = cache.lookup_stale(query)
+        assert hit is not None
+        assert hit.kind == "stale"  # the caller is on the stale path
+
+    def test_lru_eviction_demotes(self, cache):
+        victim = Query(predicates=(Comparison("hbd", "=", 0),))
+        cache.store(victim, _rows())
+        for i in range(1, 10):
+            cache.store(
+                Query(predicates=(Comparison("hbd", "=", i),)), [],
+            )
+        assert cache.lookup(victim) is None  # evicted from live LRU
+        assert cache.lookup_stale(victim).rows == _rows()
+
+    def test_stale_store_is_bounded(self, cache):
+        for i in range(3 * cache.capacity):
+            cache.store(
+                Query(predicates=(Comparison("hbd", "=", i),)), [],
+            )
+        cache.invalidate()
+        assert cache.stats()["stale_entries"] <= cache.capacity
+
+    def test_fresh_store_clears_the_stale_copy(self, cache):
+        query = Query()
+        cache.store(query, _rows())
+        cache.invalidate()
+        cache.store(query, _rows()[:1])  # fresh result after recovery
+        assert cache.stats()["stale_entries"] == 0
+        assert len(cache.lookup(query).rows) == 1
+
+    def test_stale_miss_returns_none(self, cache):
+        assert cache.lookup_stale(Query()) is None
+
+    def test_stale_rows_are_copies(self, cache):
+        query = Query()
+        cache.store(query, _rows())
+        cache.invalidate()
+        first = cache.lookup_stale(query)
+        first.rows.clear()
+        assert cache.lookup_stale(query).rows == _rows()

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.errors import SourceError, SourceUnavailableError
+from repro.errors import (
+    RateLimitError,
+    SourceError,
+    SourceUnavailableError,
+)
 from repro.sources import (
     CachingSource,
     FaultModel,
@@ -169,6 +173,37 @@ class TestRetryingSource:
         clock = SimulatedClock()
         with pytest.raises(SourceError):
             RetryingSource(_source(clock), max_attempts=0)
+
+
+    def test_rate_limited_fetch_waits_out_the_window(self):
+        clock = SimulatedClock()
+        inner = _source(clock, faults=FaultModel(max_calls_per_window=1,
+                                                 window_s=1.0))
+        retrying = RetryingSource(inner)
+        assert retrying.fetch("thing", "k1") == "v1"
+        # The second call is rejected by the limiter; the wrapper waits
+        # out the window (virtual time) and succeeds.
+        assert retrying.fetch("thing", "k2") == "v2"
+        assert retrying.rate_limit_waits >= 1
+        assert clock.now() >= 1.0
+
+    def test_rate_limit_wait_budget_is_bounded(self):
+        clock = SimulatedClock()
+        inner = _source(clock, faults=FaultModel(max_calls_per_window=1,
+                                                 window_s=1.0))
+        retrying = RetryingSource(inner, max_rate_limit_waits=0)
+        retrying.fetch("thing", "k1")
+        with pytest.raises(RateLimitError):
+            retrying.fetch("thing", "k2")
+
+    def test_scan_keys_shares_the_retry_ladder(self):
+        clock = SimulatedClock()
+        # seed=1: first draw fails, second succeeds.
+        inner = _source(clock, faults=FaultModel(failure_rate=0.5,
+                                                 seed=1))
+        retrying = RetryingSource(inner, max_attempts=5)
+        assert len(retrying.scan_keys("thing")) == 20
+        assert retrying.retries >= 1
 
 
 class TestRegistry:
