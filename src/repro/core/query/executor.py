@@ -96,6 +96,21 @@ class EngineConfig:
     #: Rows buffered per scatter/gather batch when a query projects
     #: remote detail columns (see REMOTE_DETAIL_COLUMNS).
     remote_lookahead: int = 64
+    #: ``"row"`` (volcano iterators, the default) or ``"vectorized"``
+    #: (batch-at-a-time over columnar projections). Results are
+    #: identical either way; see docs/VECTORIZED.md.
+    execution_mode: str = "row"
+    #: Rows per batch in vectorized mode.
+    vector_batch_size: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.execution_mode not in ("row", "vectorized"):
+            raise QueryError(
+                f"unknown execution mode {self.execution_mode!r} "
+                "(known: 'row', 'vectorized')"
+            )
+        if self.vector_batch_size < 1:
+            raise QueryError("vector_batch_size must be positive")
 
     def planner_config(self) -> PlannerConfig:
         return PlannerConfig(
@@ -311,7 +326,7 @@ class QueryEngine:
                     plan = self.planner.plan(query,
                                              similar_keys=ligand_keys)
                 counters = ExecCounters()
-                physical = self._to_physical(plan.logical, counters)
+                physical = self._build_physical(plan.logical, counters)
                 with tracer.span("query.run") as run_span:
                     rows = list(physical.rows())
                     if isinstance(plan.logical, LogicalEmpty):
@@ -448,6 +463,7 @@ class QueryEngine:
                 counters={"rows_scanned": 0, "rows_emitted": len(rows),
                           "index_probes": 0, "operators": []},
                 analysis=analysis_lines,
+                execution={"mode": self.config.execution_mode},
             )
 
         resilient = self._resilience_active(deadline)
@@ -463,8 +479,8 @@ class QueryEngine:
         self._fetch_deadline = deadline
         self._fetch_statuses = statuses if resilient else None
         try:
-            physical = self._to_physical(plan.logical, counters,
-                                         probe=root, clock=clock)
+            physical = self._build_physical(plan.logical, counters,
+                                            probe=root, clock=clock)
 
             before = metrics.counter_values("source.roundtrips.")
             scheduler_before = metrics.counter_values("scheduler.")
@@ -509,6 +525,14 @@ class QueryEngine:
             if snap:
                 resilience["breakers"] = snap
 
+        execution: dict[str, Any] = {"mode": self.config.execution_mode}
+        if counters.batches_emitted:
+            execution["batches"] = counters.batches_emitted
+            execution["rows_per_batch"] = round(
+                counters.batch_rows / counters.batches_emitted, 2
+            )
+            execution["batch_size"] = self.config.vector_batch_size
+
         operators = root.children[0] if root.children else root
         self._emit_operator_spans(tracer, operators)
         return AnalyzeReport(
@@ -525,6 +549,7 @@ class QueryEngine:
             federation=federation,
             analysis=analysis_lines,
             resilience=resilience,
+            execution=execution,
         )
 
     def explain_analyze(self, query: Query | str) -> str:
@@ -615,6 +640,24 @@ class QueryEngine:
         return matches, len(fingerprints)
 
     # -- physical lowering ----------------------------------------------------------
+
+    def _build_physical(self, node: LogicalNode, counters: ExecCounters,
+                        probe: OperatorStats | None = None,
+                        clock=None):
+        """Lower through the configured execution mode.
+
+        Both paths produce an operator exposing ``rows()`` with
+        identical results; vectorized lowering additionally fills the
+        counters' batch fields. Imported lazily so the default row
+        path's import graph is unchanged.
+        """
+        if self.config.execution_mode == "vectorized":
+            from repro.core.query.vectorized import VectorizedLowering
+            lowering = VectorizedLowering(self, counters, probe=probe,
+                                          clock=clock)
+            return lowering.lower_plan(node)
+        return self._to_physical(node, counters, probe=probe,
+                                 clock=clock)
 
     def _to_physical(self, node: LogicalNode, counters: ExecCounters,
                      probe: OperatorStats | None = None,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.query.ast import AggregateSpec, Comparison, OrderBy
+from repro.core.query.predicates import compile_residual
 from repro.errors import QueryError
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.table import Table
@@ -21,20 +22,37 @@ from repro.storage.table import Table
 
 @dataclass
 class ExecCounters:
-    """Row-level work accounting shared by all operators of one plan."""
+    """Row-level work accounting shared by all operators of one plan.
+
+    ``rows_scanned``/``rows_emitted``/``index_probes`` mean the same
+    thing under both execution modes (asserted by the parity suite), so
+    E1/E7 "rows touched" numbers stay comparable. The batch fields are
+    only touched by the vectorized operators; the snapshot omits them
+    when zero so row-mode counters are byte-identical to before.
+    """
 
     rows_scanned: int = 0
     rows_emitted: int = 0
     index_probes: int = 0
     operators: list[str] = field(default_factory=list)
+    #: Batches yielded by vectorized operators (0 in row mode).
+    batches_emitted: int = 0
+    #: Total rows across those batches (drives the mean batch size).
+    batch_rows: int = 0
 
     def snapshot(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "rows_scanned": self.rows_scanned,
             "rows_emitted": self.rows_emitted,
             "index_probes": self.index_probes,
             "operators": list(self.operators),
         }
+        if self.batches_emitted:
+            data["batches_emitted"] = self.batches_emitted
+            data["rows_per_batch"] = round(
+                self.batch_rows / self.batches_emitted, 2
+            )
+        return data
 
 
 class PhysicalOp(ABC):
@@ -50,6 +68,13 @@ class PhysicalOp(ABC):
 
 def _apply_residual(row: dict[str, Any],
                     residual: tuple[Comparison, ...]) -> bool:
+    """Row-at-a-time residual check (kept for external callers).
+
+    The operators themselves no longer call this: each compiles its
+    residual list once via
+    :func:`~repro.core.query.predicates.compile_residual`, replacing
+    per-row ``pred.matches`` dispatch with one specialized closure.
+    """
     return all(pred.matches(row.get(pred.column)) for pred in residual)
 
 
@@ -59,13 +84,15 @@ class SeqScanOp(PhysicalOp):
         super().__init__(counters)
         self.table = table
         self.residual = residual
+        self._passes = compile_residual(residual)
 
     def rows(self) -> Iterator[dict[str, Any]]:
         as_dict = self.table.schema.row_as_dict
+        passes = self._passes
         for row in self.table.scan_rows():
             self.counters.rows_scanned += 1
             record = as_dict(row)
-            if _apply_residual(record, self.residual):
+            if passes(record):
                 self.counters.rows_emitted += 1
                 yield record
 
@@ -79,14 +106,16 @@ class IndexEqScanOp(PhysicalOp):
         self.index = index
         self.value = value
         self.residual = residual
+        self._passes = compile_residual(residual)
 
     def rows(self) -> Iterator[dict[str, Any]]:
         self.counters.index_probes += 1
         as_dict = self.table.schema.row_as_dict
+        passes = self._passes
         for row_id in self.index.lookup(self.value):
             self.counters.rows_scanned += 1
             record = as_dict(self.table.get(row_id))
-            if _apply_residual(record, self.residual):
+            if passes(record):
                 self.counters.rows_emitted += 1
                 yield record
 
@@ -105,16 +134,18 @@ class IndexRangeScanOp(PhysicalOp):
         self.include_low = include_low
         self.include_high = include_high
         self.residual = residual
+        self._passes = compile_residual(residual)
 
     def rows(self) -> Iterator[dict[str, Any]]:
         self.counters.index_probes += 1
         as_dict = self.table.schema.row_as_dict
+        passes = self._passes
         row_ids = self.index.range(self.low, self.high,
                                    self.include_low, self.include_high)
         for row_id in row_ids:
             self.counters.rows_scanned += 1
             record = as_dict(self.table.get(row_id))
-            if _apply_residual(record, self.residual):
+            if passes(record):
                 self.counters.rows_emitted += 1
                 yield record
 
@@ -134,9 +165,11 @@ class KeySetScanOp(PhysicalOp):
         self.column = column
         self.keys = keys
         self.residual = residual
+        self._passes = compile_residual(residual)
 
     def rows(self) -> Iterator[dict[str, Any]]:
         as_dict = self.table.schema.row_as_dict
+        passes = self._passes
         index = self.table.index_on(self.column)
         if index is not None:
             for key in sorted(self.keys, key=repr):
@@ -144,7 +177,7 @@ class KeySetScanOp(PhysicalOp):
                 for row_id in index.lookup(key):
                     self.counters.rows_scanned += 1
                     record = as_dict(self.table.get(row_id))
-                    if _apply_residual(record, self.residual):
+                    if passes(record):
                         self.counters.rows_emitted += 1
                         yield record
             return
@@ -154,7 +187,7 @@ class KeySetScanOp(PhysicalOp):
             if row[position] not in self.keys:
                 continue
             record = as_dict(row)
-            if _apply_residual(record, self.residual):
+            if passes(record):
                 self.counters.rows_emitted += 1
                 yield record
 
@@ -204,10 +237,12 @@ class FilterOp(PhysicalOp):
         super().__init__(counters)
         self.child = child
         self.predicates = predicates
+        self._passes = compile_residual(predicates)
 
     def rows(self) -> Iterator[dict[str, Any]]:
+        passes = self._passes
         for record in self.child.rows():
-            if _apply_residual(record, self.predicates):
+            if passes(record):
                 self.counters.rows_emitted += 1
                 yield record
 
@@ -247,6 +282,33 @@ class _AggState:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+
+    def fold_many(self, values: list[Any]) -> None:
+        """Fold a whole column slice in one call (vectorized path).
+
+        Accumulates in the same left-to-right order as repeated
+        :meth:`fold` calls so float sums round identically — the parity
+        suite asserts bit-identical aggregates across engines.
+        """
+        total = self.total
+        count = self.count
+        minimum = self.minimum
+        maximum = self.maximum
+        for value in values:
+            if value is None:
+                continue
+            count += 1
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                total += value
+            if minimum is None or value < minimum:
+                minimum = value
+            if maximum is None or value > maximum:
+                maximum = value
+        self.total = total
+        self.count = count
+        self.minimum = minimum
+        self.maximum = maximum
 
     def result(self, func: str) -> Any:
         if func == "count":

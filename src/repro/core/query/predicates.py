@@ -1,0 +1,102 @@
+"""Compiled predicate closures: specialize once per plan, not per row.
+
+``Comparison.matches`` re-dispatches on ``self.op`` for every row it
+sees. A plan evaluates the same handful of predicates over thousands of
+rows, so both engines compile each predicate into a closure *once* at
+lowering time:
+
+* :func:`compile_comparison` — one ``value -> bool`` closure specialized
+  on the operator with the literal already bound (NULL never matches,
+  exactly like ``Comparison.matches``);
+* :func:`compile_residual` — one ``row -> bool`` closure over a whole
+  residual list, used by the row operators in place of per-row
+  ``matches`` dispatch;
+* :func:`compile_columns` — the column-at-a-time form the vectorized
+  scans use to shrink a selection vector against raw column buffers.
+
+Works on any predicate shaped like ``(column, op, value)`` — both
+:class:`~repro.core.query.ast.Comparison` and
+:class:`~repro.core.query.ast.HavingCondition`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.errors import QueryError
+
+#: A compiled single-value predicate.
+ValuePredicate = Callable[[Any], bool]
+#: A compiled whole-row predicate.
+RowPredicate = Callable[[dict[str, Any]], bool]
+
+
+def compile_comparison(pred: Any) -> ValuePredicate:
+    """Compile ``column <op> literal`` into one specialized closure.
+
+    The returned closure replicates ``Comparison.matches`` bit for bit:
+    ``None`` (SQL NULL) never matches, under any operator.
+    """
+    op = pred.op
+    bound = pred.value
+    if op == "=":
+        return lambda value: value is not None and value == bound
+    if op == "!=":
+        return lambda value: value is not None and value != bound
+    if op == "<":
+        return lambda value: value is not None and value < bound
+    if op == "<=":
+        return lambda value: value is not None and value <= bound
+    if op == ">":
+        return lambda value: value is not None and value > bound
+    if op == ">=":
+        return lambda value: value is not None and value >= bound
+    if op == "in":
+        try:
+            members = frozenset(bound)
+        except TypeError:  # unhashable literals: keep the slow path
+            members = tuple(bound)
+        return lambda value: value is not None and value in members
+    raise QueryError(f"cannot compile operator {op!r}")
+
+
+def _always_true(row: dict[str, Any]) -> bool:
+    return True
+
+
+def compile_residual(residual: Sequence[Any]) -> RowPredicate:
+    """Compile a residual predicate list into one row closure.
+
+    The empty list compiles to a constant-true closure and a single
+    predicate avoids the ``all(...)`` loop entirely — the two common
+    shapes after the planner consumed the access-path predicate.
+    """
+    if not residual:
+        return _always_true
+    if len(residual) == 1:
+        pred = residual[0]
+        column = pred.column
+        test = compile_comparison(pred)
+        return lambda row: test(row.get(column))
+    compiled = tuple((pred.column, compile_comparison(pred))
+                     for pred in residual)
+    def matches(row: dict[str, Any]) -> bool:
+        for column, test in compiled:
+            if not test(row.get(column)):
+                return False
+        return True
+    return matches
+
+
+def compile_columns(
+    residual: Sequence[Any],
+) -> tuple[tuple[str, ValuePredicate], ...]:
+    """Compile a residual list to ``(column, closure)`` pairs.
+
+    The vectorized scans apply each pair against the column's raw
+    buffer, narrowing one selection vector per predicate instead of
+    materializing rows.
+    """
+    return tuple((pred.column, compile_comparison(pred))
+                 for pred in residual)

@@ -1,0 +1,793 @@
+"""Vectorized (batch-at-a-time) execution over columnar projections.
+
+The row engine (:mod:`repro.core.query.physical`) interprets plans one
+dict row at a time: every row pays a ``dict`` materialization, a
+generator resumption per operator, and (before PR 5) per-row predicate
+dispatch. This module executes the *same* logical plans batch-at-a-time
+over the tables' :class:`~repro.storage.columnar.ColumnStore`
+projections, amortizing interpreter overhead across
+``EngineConfig.vector_batch_size`` rows:
+
+* scans build **selection vectors** (lists of live buffer positions)
+  and narrow them with compiled predicate closures applied straight to
+  the column buffers — no row dicts exist until the plan's output;
+* filters, projections, joins, sorts, and limits operate on
+  :class:`Batch` objects (column name → value list);
+* aggregation folds whole column slices via ``_AggState.fold_many``,
+  accumulating in the same left-to-right order as the row engine so
+  float results are bit-identical;
+* operators without a batch form — ``RemoteFetchOp``, nested-loop
+  joins, the clade fast path — **fall back** to their row
+  implementations behind :class:`RowSourceAdapterOp`, so every plan the
+  row engine runs, this engine runs with identical results.
+
+Result parity is a hard contract: same rows, same order, same
+``rows_scanned``/``rows_emitted``/``index_probes``. The one documented
+exception is early termination (a bare ``LIMIT`` without ``ORDER BY``):
+scans work at batch granularity, so an abandoned scan may have counted
+up to one batch more than the row engine's row-granular stop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import Any
+
+from repro.core.query.ast import REMOTE_DETAIL_COLUMNS, AggregateSpec, OrderBy
+from repro.core.query.logical import (
+    LogicalAggregate,
+    LogicalCladeAggregate,
+    LogicalEmpty,
+    LogicalHaving,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalOrder,
+    LogicalProject,
+    LogicalScan,
+)
+from repro.core.query.physical import ExecCounters, _AggState, _sort_key
+from repro.core.query.predicates import compile_columns
+from repro.errors import PlanError, QueryError
+from repro.obs.explain import OperatorStats
+from repro.obs.timing import now_wall
+from repro.storage.columnar import ColumnStore
+from repro.storage.index import SortedIndex
+
+#: Default rows per batch; EngineConfig.vector_batch_size overrides.
+DEFAULT_BATCH_SIZE = 1024
+
+
+class Batch:
+    """One batch of rows in columnar form.
+
+    ``columns`` maps column name to a value list; every list has
+    ``length`` entries and position ``i`` across all lists is one row.
+    ``order`` fixes the column order rows materialize with, mirroring
+    the key order of the row engine's dicts.
+    """
+
+    __slots__ = ("order", "columns", "length")
+
+    def __init__(self, order: tuple[str, ...],
+                 columns: dict[str, list[Any]], length: int) -> None:
+        self.order = order
+        self.columns = columns
+        self.length = length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def values(self, name: str) -> list[Any]:
+        """One column's values; missing columns read as all-NULL
+        (the batch analogue of ``row.get``)."""
+        if name in self.columns:
+            return self.columns[name]
+        return [None] * self.length
+
+    def take(self, positions: Sequence[int]) -> "Batch":
+        """A new batch keeping *positions*, in the given order."""
+        taken = {
+            name: [buffer[p] for p in positions]
+            for name, buffer in self.columns.items()
+        }
+        return Batch(self.order, taken, len(positions))
+
+    def iter_rows(self) -> Iterator[dict[str, Any]]:
+        """Materialize dict rows (the batch/row boundary)."""
+        order = self.order
+        if not order:
+            for _ in range(self.length):
+                yield {}
+            return
+        buffers = [self.columns[name] for name in order]
+        for values in zip(*buffers):
+            yield dict(zip(order, values))
+
+    def __repr__(self) -> str:
+        return f"Batch(rows={self.length}, columns={list(self.order)})"
+
+
+def batch_from_rows(rows: list[dict[str, Any]]) -> Batch:
+    """Columnarize dict rows (the fallback adapter's direction)."""
+    if not rows:
+        return Batch((), {}, 0)
+    order = tuple(rows[0].keys())
+    columns = {name: [row.get(name) for row in rows] for name in order}
+    return Batch(order, columns, len(rows))
+
+
+class VectorOp:
+    """One batch-at-a-time plan operator.
+
+    Mirrors :class:`~repro.core.query.physical.PhysicalOp`: registers
+    itself in the shared counters' operator list and exposes ``rows()``
+    so any consumer of the row protocol (the executor's final
+    ``list(...)``, ``RemoteFetchOp``) can drain it without knowing
+    about batches.
+    """
+
+    def __init__(self, counters: ExecCounters) -> None:
+        self.counters = counters
+        counters.operators.append(type(self).__name__)
+
+    def batches(self) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for batch in self.batches():
+            yield from batch.iter_rows()
+
+    def _emit(self, batch: Batch) -> Batch:
+        self.counters.batches_emitted += 1
+        self.counters.batch_rows += len(batch)
+        return batch
+
+
+class InstrumentedVecOp:
+    """EXPLAIN ANALYZE wrapper charging stats per *batch*.
+
+    The batch analogue of :class:`~repro.obs.explain.InstrumentedOp`:
+    timing brackets each ``next()`` on the batch iterator and
+    ``rows_out`` advances by the batch length, so operator actuals mean
+    the same thing in both modes.
+    """
+
+    __slots__ = ("inner", "stats", "clock", "counters")
+
+    def __init__(self, inner: VectorOp, stats: OperatorStats,
+                 clock: Any | None = None) -> None:
+        self.inner = inner
+        self.stats = stats
+        self.clock = clock
+        self.counters = inner.counters
+
+    def batches(self) -> Iterator[Batch]:
+        stats = self.stats
+        clock = self.clock
+        stats.loops += 1
+        iterator = self.inner.batches()
+        while True:
+            wall_started = now_wall()
+            virtual_started = clock.now() if clock is not None else 0.0
+            try:
+                batch = next(iterator)
+            except StopIteration:
+                stats.wall_s += now_wall() - wall_started
+                if clock is not None:
+                    stats.virtual_s += clock.now() - virtual_started
+                return
+            stats.wall_s += now_wall() - wall_started
+            if clock is not None:
+                stats.virtual_s += clock.now() - virtual_started
+            stats.rows_out += len(batch)
+            yield batch
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        for batch in self.batches():
+            yield from batch.iter_rows()
+
+
+class RowSourceAdapterOp(VectorOp):
+    """Decay adapter: re-batch a row operator's output.
+
+    Wraps subtrees that only exist in row form (``RemoteFetchOp``,
+    nested-loop joins, the clade fast path). The wrapped operator does
+    its own row accounting; this adapter only columnarizes.
+    """
+
+    def __init__(self, counters: ExecCounters, row_op: Any,
+                 batch_size: int) -> None:
+        super().__init__(counters)
+        self.row_op = row_op
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[Batch]:
+        buffer: list[dict[str, Any]] = []
+        for record in self.row_op.rows():
+            buffer.append(record)
+            if len(buffer) >= self.batch_size:
+                yield self._emit(batch_from_rows(buffer))
+                buffer = []
+        if buffer:
+            yield self._emit(batch_from_rows(buffer))
+
+
+def _filter_positions(positions: Sequence[int], store: ColumnStore,
+                      compiled) -> Sequence[int]:
+    """Narrow a selection vector, one compiled predicate at a time."""
+    for name, test in compiled:
+        buffer = store.column(name)
+        positions = [p for p in positions if test(buffer[p])]
+    return positions
+
+
+class _VecScanBase(VectorOp):
+    """Shared gather/filter machinery of the four scan shapes."""
+
+    def __init__(self, counters: ExecCounters, store: ColumnStore,
+                 residual, columns: tuple[str, ...] | None,
+                 batch_size: int) -> None:
+        super().__init__(counters)
+        self.store = store
+        self.residual = residual
+        self.compiled = compile_columns(residual)
+        if columns is None:
+            self.columns = store.column_names
+        else:
+            self.columns = tuple(c for c in store.column_names
+                                 if c in columns)
+        self.batch_size = batch_size
+
+    def _scan_chunk(self, chunk: Sequence[int]) -> Batch | None:
+        """Count, filter, and gather one chunk of buffer positions."""
+        self.counters.rows_scanned += len(chunk)
+        selected = _filter_positions(chunk, self.store, self.compiled)
+        if not selected:
+            return None
+        self.counters.rows_emitted += len(selected)
+        store = self.store
+        columns = {name: store.gather(name, list(selected))
+                   for name in self.columns}
+        return Batch(self.columns, columns, len(selected))
+
+    def _scan_positions(self, positions: Sequence[int],
+                        ) -> Iterator[Batch]:
+        size = self.batch_size
+        for start in range(0, len(positions), size):
+            batch = self._scan_chunk(positions[start:start + size])
+            if batch is not None:
+                yield self._emit(batch)
+
+
+class VecSeqScanOp(_VecScanBase):
+    """Full-table scan: selection vectors over all live positions."""
+
+    def batches(self) -> Iterator[Batch]:
+        yield from self._scan_positions(self.store.live_positions())
+
+
+class VecIndexEqScanOp(_VecScanBase):
+    def __init__(self, counters: ExecCounters, store: ColumnStore,
+                 index, value: Any, residual=(),
+                 columns: tuple[str, ...] | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        super().__init__(counters, store, residual, columns, batch_size)
+        self.index = index
+        self.value = value
+
+    def batches(self) -> Iterator[Batch]:
+        self.counters.index_probes += 1
+        position_of = self.store.position_of
+        positions = [position_of(row_id)
+                     for row_id in self.index.lookup(self.value)]
+        yield from self._scan_positions(positions)
+
+
+class VecIndexRangeScanOp(_VecScanBase):
+    def __init__(self, counters: ExecCounters, store: ColumnStore,
+                 index: SortedIndex, low: Any, high: Any,
+                 include_low: bool, include_high: bool, residual=(),
+                 columns: tuple[str, ...] | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        super().__init__(counters, store, residual, columns, batch_size)
+        self.index = index
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+
+    def batches(self) -> Iterator[Batch]:
+        self.counters.index_probes += 1
+        row_ids = self.index.range(self.low, self.high,
+                                   self.include_low, self.include_high)
+        position_of = self.store.position_of
+        positions = [position_of(row_id) for row_id in row_ids]
+        yield from self._scan_positions(positions)
+
+
+class VecKeySetScanOp(_VecScanBase):
+    """Key-set scan: index probes per key, or a filtered seq scan."""
+
+    def __init__(self, counters: ExecCounters, store: ColumnStore,
+                 column: str, keys: frozenset, residual=(),
+                 columns: tuple[str, ...] | None = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        super().__init__(counters, store, residual, columns, batch_size)
+        self.column = column
+        self.keys = keys
+
+    def batches(self) -> Iterator[Batch]:
+        index = self.store.table.index_on(self.column)
+        if index is not None:
+            # Same key order (and per-key probe accounting) as the row
+            # operator: deterministic across runs and engines.
+            position_of = self.store.position_of
+            positions: list[int] = []
+            for key in sorted(self.keys, key=repr):
+                self.counters.index_probes += 1
+                positions.extend(position_of(row_id)
+                                 for row_id in index.lookup(key))
+            yield from self._scan_positions(positions)
+            return
+        keys = self.keys
+        buffer = self.store.column(self.column)
+        size = self.batch_size
+        live = self.store.live_positions()
+        for start in range(0, len(live), size):
+            chunk = live[start:start + size]
+            self.counters.rows_scanned += len(chunk)
+            members = [p for p in chunk if buffer[p] in keys]
+            selected = _filter_positions(members, self.store,
+                                         self.compiled)
+            if not selected:
+                continue
+            self.counters.rows_emitted += len(selected)
+            store = self.store
+            columns = {name: store.gather(name, list(selected))
+                       for name in self.columns}
+            yield self._emit(Batch(self.columns, columns,
+                                   len(selected)))
+
+
+class VecFilterOp(VectorOp):
+    """Batch filter (the HAVING stage) over compiled predicates."""
+
+    def __init__(self, counters: ExecCounters, child,
+                 predicates) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.predicates = predicates
+        self.compiled = compile_columns(predicates)
+
+    def batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            keep = range(len(batch))
+            for name, test in self.compiled:
+                values = batch.values(name)
+                keep = [i for i in keep if test(values[i])]
+            if not keep:
+                continue
+            self.counters.rows_emitted += len(keep)
+            yield self._emit(batch.take(list(keep)))
+
+
+class VecProjectOp(VectorOp):
+    def __init__(self, counters: ExecCounters, child,
+                 columns: tuple[str, ...]) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.columns = columns
+
+    def batches(self) -> Iterator[Batch]:
+        for batch in self.child.batches():
+            missing = [c for c in self.columns
+                       if c not in batch.columns]
+            if missing:
+                raise QueryError(
+                    f"projection references missing column "
+                    f"'{missing[0]}'"
+                )
+            projected = {name: batch.columns[name]
+                         for name in self.columns}
+            yield self._emit(Batch(self.columns, projected,
+                                   len(batch)))
+
+
+class VecHashAggregateOp(VectorOp):
+    """Grouped/scalar aggregation folding column slices per batch."""
+
+    def __init__(self, counters: ExecCounters, child,
+                 aggregates: tuple[AggregateSpec, ...],
+                 group_by: str | None = None) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.aggregates = aggregates
+        self.group_by = group_by
+
+    def batches(self) -> Iterator[Batch]:
+        groups: dict[Any, dict[str, _AggState]] = {}
+        saw_rows = False
+        for batch in self.child.batches():
+            if not len(batch):
+                continue
+            saw_rows = True
+            if self.group_by is None:
+                self._fold_scalar(groups, batch)
+            else:
+                self._fold_grouped(groups, batch)
+        if not saw_rows and self.group_by is None:
+            # Scalar aggregate over an empty input still yields one row.
+            groups[None] = {
+                agg.output_name: _AggState() for agg in self.aggregates
+            }
+        out_rows = []
+        for key in sorted(groups, key=repr):
+            states = groups[key]
+            out: dict[str, Any] = {}
+            if self.group_by is not None:
+                out[self.group_by] = key
+            for agg in self.aggregates:
+                out[agg.output_name] = states[agg.output_name].result(
+                    agg.func
+                )
+            self.counters.rows_emitted += 1
+            out_rows.append(out)
+        if out_rows:
+            yield self._emit(batch_from_rows(out_rows))
+
+    def _fold_scalar(self, groups, batch: Batch) -> None:
+        states = groups.setdefault(None, {
+            agg.output_name: _AggState() for agg in self.aggregates
+        })
+        for agg in self.aggregates:
+            state = states[agg.output_name]
+            if agg.column == "*":
+                state.count += len(batch)
+            else:
+                state.fold_many(batch.values(agg.column))
+
+    def _fold_grouped(self, groups, batch: Batch) -> None:
+        keys = batch.values(self.group_by)
+        folds = [
+            (agg.output_name,
+             None if agg.column == "*" else batch.values(agg.column))
+            for agg in self.aggregates
+        ]
+        fresh = {agg.output_name: None for agg in self.aggregates}
+        for i, key in enumerate(keys):
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = {
+                    name: _AggState() for name in fresh
+                }
+            for name, values in folds:
+                state = states[name]
+                if values is None:
+                    state.count += 1
+                else:
+                    state.fold(values[i])
+
+
+class _Materializing(VectorOp):
+    """Shared concat step of the blocking operators (sort, top-k)."""
+
+    def _materialize(self, child) -> Batch:
+        batches = [batch for batch in child.batches() if len(batch)]
+        if not batches:
+            return Batch((), {}, 0)
+        order = batches[0].order
+        columns = {name: [] for name in order}
+        total = 0
+        for batch in batches:
+            total += len(batch)
+            for name in order:
+                columns[name].extend(batch.values(name))
+        return Batch(order, columns, total)
+
+
+class VecSortOp(_Materializing):
+    def __init__(self, counters: ExecCounters, child,
+                 order_by: OrderBy,
+                 batch_size: int = DEFAULT_BATCH_SIZE) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.order_by = order_by
+        self.batch_size = batch_size
+
+    def batches(self) -> Iterator[Batch]:
+        merged = self._materialize(self.child)
+        if not len(merged):
+            return
+        keys = merged.values(self.order_by.column)
+        # sorted() is stable, exactly like the row engine's list.sort:
+        # ties keep arrival order under either mode.
+        indices = sorted(range(len(merged)),
+                         key=lambda i: _sort_key(keys[i]),
+                         reverse=self.order_by.descending)
+        size = self.batch_size
+        for start in range(0, len(indices), size):
+            yield self._emit(merged.take(indices[start:start + size]))
+
+
+class VecTopKOp(_Materializing):
+    """Bounded sort; result order matches ``heapq.nlargest/nsmallest``
+    (documented equivalent of a stable full sort sliced to k)."""
+
+    def __init__(self, counters: ExecCounters, child,
+                 order_by: OrderBy, limit: int) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.order_by = order_by
+        self.limit = limit
+
+    def batches(self) -> Iterator[Batch]:
+        merged = self._materialize(self.child)
+        if not len(merged):
+            return
+        keys = merged.values(self.order_by.column)
+        indices = sorted(range(len(merged)),
+                         key=lambda i: _sort_key(keys[i]),
+                         reverse=self.order_by.descending)[:self.limit]
+        self.counters.rows_emitted += len(indices)
+        yield self._emit(merged.take(indices))
+
+
+class VecLimitOp(VectorOp):
+    def __init__(self, counters: ExecCounters, child,
+                 limit: int) -> None:
+        super().__init__(counters)
+        self.child = child
+        self.limit = limit
+
+    def batches(self) -> Iterator[Batch]:
+        remaining = self.limit
+        for batch in self.child.batches():
+            if len(batch) > remaining:
+                batch = batch.take(list(range(remaining)))
+            remaining -= len(batch)
+            self.counters.rows_emitted += len(batch)
+            yield self._emit(batch)
+            if remaining <= 0:
+                return
+
+
+class VecHashJoinOp(VectorOp):
+    """Batch equi-join; buckets of build positions, probed per batch.
+
+    Merged rows replicate the row engine's ``{**build, **probe}``:
+    build columns first, probe-only columns appended, and a column
+    present on both sides takes the probe value.
+    """
+
+    def __init__(self, counters: ExecCounters, build, probe,
+                 key: str) -> None:
+        super().__init__(counters)
+        self.build = build
+        self.probe = probe
+        self.key = key
+
+    def batches(self) -> Iterator[Batch]:
+        build = self._materialize_build()
+        buckets: dict[Any, list[int]] = {}
+        build_keys = build.values(self.key)
+        for position, key in enumerate(build_keys):
+            buckets.setdefault(key, []).append(position)
+        for batch in self.probe.batches():
+            probe_keys = batch.values(self.key)
+            build_positions: list[int] = []
+            probe_positions: list[int] = []
+            for i, key in enumerate(probe_keys):
+                for position in buckets.get(key, ()):
+                    build_positions.append(position)
+                    probe_positions.append(i)
+            if not build_positions:
+                continue
+            self.counters.rows_emitted += len(build_positions)
+            order = build.order + tuple(
+                c for c in batch.order if c not in build.columns
+            )
+            columns: dict[str, list[Any]] = {}
+            for name in order:
+                if name in batch.columns:  # probe wins shared columns
+                    source = batch.columns[name]
+                    columns[name] = [source[p] for p in probe_positions]
+                else:
+                    source = build.columns[name]
+                    columns[name] = [source[p] for p in build_positions]
+            yield self._emit(Batch(order, columns,
+                                   len(build_positions)))
+
+    def _materialize_build(self) -> Batch:
+        batches = [batch for batch in self.build.batches()
+                   if len(batch)]
+        if not batches:
+            return Batch((), {}, 0)
+        order = batches[0].order
+        columns = {name: [] for name in order}
+        total = 0
+        for batch in batches:
+            total += len(batch)
+            for name in order:
+                columns[name].extend(batch.values(name))
+        return Batch(order, columns, total)
+
+
+def _rows_estimate(node: LogicalNode) -> float:
+    # Same build-side heuristic as the row engine's _join_op.
+    estimated = getattr(node, "estimated_rows", None)
+    return float(estimated) if estimated is not None else 1e9
+
+
+def needed_columns(node: LogicalNode) -> set[str] | None:
+    """Columns the plan above the scans actually consumes.
+
+    ``None`` means "all": without a Project or Aggregate bounding the
+    output, raw scan rows surface directly and every schema column must
+    be gathered. Otherwise scans gather only this set (plus whatever
+    their own access path needs), which is the "columnar projection"
+    half of the speedup.
+    """
+    needed: set[str] = set()
+    shaped = False
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, LogicalProject):
+            shaped = True
+            needed.update(current.columns)
+            if any(c in REMOTE_DETAIL_COLUMNS for c in current.columns):
+                needed.add("protein_id")  # the fetch key
+        elif isinstance(current, LogicalAggregate):
+            shaped = True
+            needed.update(agg.column for agg in current.aggregates
+                          if agg.column != "*")
+            if current.group_by:
+                needed.add(current.group_by)
+        elif isinstance(current, LogicalJoin):
+            needed.add(current.key)
+        elif isinstance(current, LogicalOrder):
+            needed.add(current.order_by.column)
+        stack.extend(current.children())
+    return needed if shaped else None
+
+
+class VectorizedLowering:
+    """Lower logical plans to batch operators (the vectorized mirror of
+    ``QueryEngine._lower``), decaying to row operators where no batch
+    form exists."""
+
+    def __init__(self, engine, counters: ExecCounters,
+                 probe: OperatorStats | None = None,
+                 clock=None) -> None:
+        self.engine = engine
+        self.counters = counters
+        self.probe = probe
+        self.clock = clock
+        self.batch_size = engine.config.vector_batch_size
+        self.needed: set[str] | None = None
+
+    def lower_plan(self, node: LogicalNode):
+        self.needed = needed_columns(node)
+        return self._to_vector(node, self.probe)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _to_vector(self, node: LogicalNode,
+                   probe: OperatorStats | None):
+        if self._falls_back(node):
+            # Whole-subtree decay: the row path instruments itself.
+            return self.engine._to_physical(node, self.counters,
+                                            probe=probe,
+                                            clock=self.clock)
+        if probe is None:
+            return self._lower(node, None)
+        stats = probe.child(node.describe(),
+                            getattr(node, "estimated_rows", None))
+        return InstrumentedVecOp(self._lower(node, stats), stats,
+                                 self.clock)
+
+    @staticmethod
+    def _falls_back(node: LogicalNode) -> bool:
+        if isinstance(node, (LogicalEmpty, LogicalCladeAggregate)):
+            return True
+        return (isinstance(node, LogicalJoin)
+                and node.method == "nested_loop")
+
+    def _as_batches(self, op):
+        """Ensure *op* speaks the batch protocol (adapt row ops)."""
+        if hasattr(op, "batches"):
+            return op
+        return RowSourceAdapterOp(self.counters, op, self.batch_size)
+
+    def _child_batches(self, node: LogicalNode,
+                       stats: OperatorStats | None):
+        return self._as_batches(self._to_vector(node, stats))
+
+    # -- node lowering -----------------------------------------------------
+
+    def _lower(self, node: LogicalNode,
+               stats: OperatorStats | None) -> VectorOp:
+        if isinstance(node, LogicalScan):
+            return self._scan_op(node)
+        if isinstance(node, LogicalJoin):
+            left = self._child_batches(node.left, stats)
+            right = self._child_batches(node.right, stats)
+            if _rows_estimate(node.left) <= _rows_estimate(node.right):
+                return VecHashJoinOp(self.counters, build=left,
+                                     probe=right, key=node.key)
+            return VecHashJoinOp(self.counters, build=right,
+                                 probe=left, key=node.key)
+        if isinstance(node, LogicalAggregate):
+            child = self._child_batches(node.child, stats)
+            return VecHashAggregateOp(self.counters, child,
+                                      node.aggregates, node.group_by)
+        if isinstance(node, LogicalHaving):
+            child = self._child_batches(node.child, stats)
+            return VecFilterOp(self.counters, child, node.conditions)
+        if isinstance(node, LogicalProject):
+            child = self._to_vector(node.child, stats)
+            remote = tuple(c for c in node.columns
+                           if c in REMOTE_DETAIL_COLUMNS)
+            if remote:
+                # RemoteFetchOp has no batch form: drain the child as
+                # rows through it, then re-batch its enriched output.
+                fetch = self.engine._remote_fetch_op(remote, child,
+                                                     self.counters)
+                child = RowSourceAdapterOp(self.counters, fetch,
+                                           self.batch_size)
+            else:
+                child = self._as_batches(child)
+            return VecProjectOp(self.counters, child, node.columns)
+        if isinstance(node, LogicalOrder):
+            child = self._child_batches(node.child, stats)
+            if node.limit is not None:
+                return VecTopKOp(self.counters, child, node.order_by,
+                                 node.limit)
+            return VecSortOp(self.counters, child, node.order_by,
+                             self.batch_size)
+        if isinstance(node, LogicalLimit):
+            child = self._child_batches(node.child, stats)
+            return VecLimitOp(self.counters, child, node.limit)
+        raise PlanError(f"cannot lower {type(node).__name__}")
+
+    def _scan_op(self, node: LogicalScan) -> VectorOp:
+        table = self.engine.drugtree.tables[node.table]
+        store = table.column_store()
+        columns = self.needed
+        if node.access == "seq":
+            return VecSeqScanOp(self.counters, store, node.residual,
+                                columns, self.batch_size)
+        if node.access == "index_eq":
+            assert node.access_column is not None
+            index = table.index_on(node.access_column)
+            if index is None:
+                raise PlanError(
+                    f"plan needs an index on {node.access_column!r}"
+                )
+            return VecIndexEqScanOp(self.counters, store, index,
+                                    node.eq_value, node.residual,
+                                    columns, self.batch_size)
+        if node.access == "index_range":
+            assert node.access_column is not None
+            index = table.index_on(node.access_column,
+                                   require_range=True)
+            if not isinstance(index, SortedIndex):
+                raise PlanError(
+                    f"plan needs a sorted index on "
+                    f"{node.access_column!r}"
+                )
+            return VecIndexRangeScanOp(
+                self.counters, store, index,
+                node.range_low, node.range_high,
+                node.include_low, node.include_high,
+                node.residual, columns, self.batch_size,
+            )
+        if node.access == "key_set":
+            assert node.access_column is not None
+            assert node.key_set is not None
+            return VecKeySetScanOp(self.counters, store,
+                                   node.access_column, node.key_set,
+                                   node.residual, columns,
+                                   self.batch_size)
+        raise PlanError(f"unknown access path {node.access!r}")

@@ -136,6 +136,10 @@ class AnalyzeReport:
     #: fresh/partial/missing), ``breakers`` (source/kind → state), and
     #: ``degraded``; empty on a clean run or without the resilient path.
     resilience: dict[str, Any] = field(default_factory=dict)
+    #: Execution-engine facts: ``mode`` (row|vectorized) and, in
+    #: vectorized mode, ``batches``/``rows_per_batch``/``batch_size``;
+    #: empty when built by callers that predate the vectorized engine.
+    execution: dict[str, Any] = field(default_factory=dict)
 
     @property
     def row_estimate_error(self) -> float:
@@ -168,6 +172,17 @@ class AnalyzeReport:
             f"(err {self.row_estimate_error:.2f}x)"
         )
         lines.append(f"-- cache: {self.cache_outcome}")
+        if self.execution:
+            parts = [f"mode={self.execution.get('mode', 'row')}"]
+            if "batches" in self.execution:
+                parts.append(f"batches={self.execution['batches']}")
+                parts.append(
+                    f"rows/batch={self.execution['rows_per_batch']:g}"
+                )
+                parts.append(
+                    f"batch_size={self.execution['batch_size']}"
+                )
+            lines.append("-- execution: " + ", ".join(parts))
         if self.source_roundtrips:
             parts = [
                 f"{name}: +{int(delta['during'])} during execution, "
@@ -224,5 +239,6 @@ class AnalyzeReport:
             "federation": dict(self.federation),
             "analysis": list(self.analysis),
             "resilience": dict(self.resilience),
+            "execution": dict(self.execution),
             "operators": self.operators.as_dict(),
         }

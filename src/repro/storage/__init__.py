@@ -4,6 +4,7 @@ The integrator lands federated records in these tables; the query
 optimizer plans against their indexes and statistics.
 """
 
+from repro.storage.columnar import ColumnStore
 from repro.storage.index import HashIndex, Index, SortedIndex
 from repro.storage.matview import AGGREGATES, MaterializedAggregate
 from repro.storage.schema import (
@@ -27,6 +28,7 @@ __all__ = [
     "AGGREGATES",
     "Column",
     "ColumnStatistics",
+    "ColumnStore",
     "ColumnType",
     "HashIndex",
     "Histogram",

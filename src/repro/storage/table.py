@@ -32,6 +32,7 @@ class Table:
         self._indexes: dict[str, Index] = {}
         self._on_insert: list[ChangeListener] = []
         self._on_delete: list[ChangeListener] = []
+        self._column_store = None
 
     # -- rows -------------------------------------------------------------
 
@@ -146,6 +147,22 @@ class Table:
         if len(positions) == 1:
             return row[positions[0]]
         return tuple(row[p] for p in positions)
+
+    # -- columnar projection ---------------------------------------------------
+
+    def column_store(self):
+        """The table's columnar projection, built on first use.
+
+        Lazily constructed (the row engine never pays for it) and then
+        listener-maintained like any secondary index; subsequent calls
+        return the same instance. Imported here, not at module level,
+        because :mod:`repro.storage.columnar` imports this module's
+        types for annotation.
+        """
+        if self._column_store is None:
+            from repro.storage.columnar import ColumnStore
+            self._column_store = ColumnStore(self)
+        return self._column_store
 
     # -- listeners -----------------------------------------------------------
 

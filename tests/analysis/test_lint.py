@@ -1,4 +1,4 @@
-"""Tests for the repository invariant linter (L001-L005)."""
+"""Tests for the repository invariant linter (L001-L006)."""
 
 import textwrap
 
@@ -249,6 +249,44 @@ class TestL005SwallowedSourceFaults:
         """) == []
 
 
+class TestL006BatchPathDispatch:
+    BATCH_PATH = "src/repro/core/query/vectorized.py"
+
+    def test_matches_call_flagged_in_vectorized(self):
+        found = run("""\
+            def scan(pred, rows):
+                return [r for r in rows if pred.matches(r)]
+        """, path=self.BATCH_PATH)
+        assert codes(found) == ["L006"]
+        assert "per-row" in found[0].message
+
+    def test_row_as_dict_flagged_in_columnar(self):
+        found = run("""\
+            def explode(schema, rows):
+                return [schema.row_as_dict(r) for r in rows]
+        """, path="src/repro/storage/columnar.py")
+        assert codes(found) == ["L006"]
+
+    def test_rule_inactive_elsewhere(self):
+        assert run("""\
+            def scan(pred, rows):
+                return [r for r in rows if pred.matches(r)]
+        """, path="src/repro/core/query/physical.py") == []
+
+    def test_compiled_closures_pass(self):
+        assert run("""\
+            def scan(passes, rows):
+                return [r for r in rows if passes(r)]
+        """, path=self.BATCH_PATH) == []
+
+    def test_shipped_batch_modules_have_no_noqa(self):
+        # The guard may never be waived in the modules it protects.
+        for module in ("src/repro/core/query/vectorized.py",
+                       "src/repro/storage/columnar.py"):
+            with open(module, encoding="utf-8") as handle:
+                assert "noqa" not in handle.read(), module
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert run("""\
@@ -282,7 +320,8 @@ class TestEntryPoints:
         assert codes(found) == ["L000"]
 
     def test_rule_registry_documented(self):
-        assert set(LINT_RULES) == {"L001", "L002", "L003", "L004", "L005"}
+        assert set(LINT_RULES) == {"L001", "L002", "L003", "L004",
+                                   "L005", "L006"}
         assert all(LINT_RULES.values())
 
     def test_lint_file_reads_real_module(self):

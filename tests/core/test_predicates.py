@@ -1,0 +1,121 @@
+"""Compiled predicate closures must replicate ``Comparison.matches``.
+
+``Comparison`` validates column names against the overlay schemas, so
+the parity tests use real columns; ``HavingCondition`` shares the
+comparison semantics without that validation and stands in where an
+arbitrary column name keeps a test readable.
+"""
+
+import random
+
+import pytest
+
+from repro.core.query.ast import Comparison, HavingCondition
+from repro.core.query.predicates import (
+    compile_columns,
+    compile_comparison,
+    compile_residual,
+)
+from repro.errors import QueryError
+
+SAMPLE_VALUES = (None, 0, 1, 2.5, -3, True, False)
+
+
+class TestCompileComparison:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("bound", [0, 2.5, 7])
+    def test_matches_comparison_exactly(self, op, bound):
+        pred = Comparison("p_affinity", op, bound)
+        test = compile_comparison(pred)
+        for value in SAMPLE_VALUES:
+            assert test(value) == pred.matches(value), (op, bound, value)
+
+    def test_string_comparisons_match(self):
+        for op in ("=", "!=", "<", ">="):
+            pred = Comparison("organism", op, "Homo sapiens")
+            test = compile_comparison(pred)
+            for value in (None, "Homo sapiens", "Mus musculus", ""):
+                assert test(value) == pred.matches(value), (op, value)
+
+    def test_null_never_matches(self):
+        for op in ("=", "!=", "<", "<=", ">", ">=", "in"):
+            bound = ("IC50",) if op == "in" else "IC50"
+            pred = Comparison("activity_type", op, bound)
+            assert compile_comparison(pred)(None) is False
+            assert pred.matches(None) is False
+
+    def test_in_uses_set_membership(self):
+        pred = Comparison("activity_type", "in", ("IC50", "Ki"))
+        test = compile_comparison(pred)
+        for value in (None, "IC50", "Ki", "EC50"):
+            assert test(value) == pred.matches(value)
+
+    def test_in_with_unhashable_literals_falls_back(self):
+        test = compile_comparison(
+            HavingCondition("group_key", "in", ([1], [2])))
+        assert test([1]) and not test([3])
+
+    def test_unknown_operator_raises(self):
+        class Fake:
+            op = "~="
+            value = 1
+            column = "p_affinity"
+        with pytest.raises(QueryError, match="cannot compile"):
+            compile_comparison(Fake())
+
+    def test_having_condition_compiles_too(self):
+        test = compile_comparison(HavingCondition("count_all", ">=", 5))
+        assert test(5) and not test(4)
+
+
+class TestCompileResidual:
+    def test_empty_residual_is_always_true(self):
+        assert compile_residual(())({"p_affinity": None}) is True
+
+    def test_single_predicate_fast_path(self):
+        passes = compile_residual((Comparison("p_affinity", ">=", 2),))
+        assert passes({"p_affinity": 3})
+        assert not passes({"p_affinity": 1})
+        assert not passes({})  # missing column reads as NULL
+
+    def test_conjunction_short_circuits(self):
+        passes = compile_residual((
+            Comparison("p_affinity", ">=", 2),
+            Comparison("organism", "=", "Homo sapiens"),
+        ))
+        assert passes({"p_affinity": 5, "organism": "Homo sapiens"})
+        assert not passes({"p_affinity": 5, "organism": "Rat"})
+        assert not passes({"p_affinity": 1, "organism": "Homo sapiens"})
+
+    def test_agrees_with_matches_over_random_rows(self):
+        rng = random.Random(7)
+        residual = (
+            Comparison("p_affinity", ">", 0.3),
+            Comparison("logp", "<=", 0.7),
+            Comparison("activity_type", "in", ("IC50", "Ki")),
+        )
+        passes = compile_residual(residual)
+        for _ in range(200):
+            row = {
+                "p_affinity": rng.choice([None, rng.random()]),
+                "logp": rng.choice([None, rng.random()]),
+                "activity_type": rng.choice(["IC50", "Ki", "EC50",
+                                             None]),
+            }
+            expected = all(
+                pred.matches(row.get(pred.column)) for pred in residual
+            )
+            assert passes(row) == expected, row
+
+
+class TestCompileColumns:
+    def test_pairs_preserve_order_and_columns(self):
+        residual = (
+            Comparison("p_affinity", ">", 1),
+            Comparison("organism", "=", "Homo sapiens"),
+        )
+        pairs = compile_columns(residual)
+        assert [column for column, _ in pairs] == \
+            ["p_affinity", "organism"]
+        assert pairs[0][1](2) and not pairs[0][1](0)
+        assert pairs[1][1]("Homo sapiens") and not pairs[1][1]("Rat")
