@@ -1,0 +1,230 @@
+"""E14 — durability cost and recovery speed (extension).
+
+Three questions about the opt-in LSM storage layer:
+
+1. **Write cost.** What does WAL-first logging add to ingest, and how
+   much of it is fsync policy? The same synthetic binding stream is
+   inserted under ``fsync="always"`` (sync every record),
+   ``"batch"`` (group commit), and ``"never"`` (OS-buffered), plus a
+   pure in-memory baseline. The interesting ratio is batch vs always:
+   group commit should recover most of the durable-write penalty.
+
+2. **Recovery speed.** After a clean shutdown, is reopening the store
+   (manifest load + WAL replay + overlay restore) faster than
+   re-integrating the world from sources? The paper's mobile setting
+   makes cold starts common, so warm-start recovery is the win that
+   justifies the storage layer.
+
+3. **Scan pruning.** With row-id-clustered segments on disk, how many
+   segments does a selective vectorized range scan skip via the
+   min/max zone maps? Reported as read/pruned counts, not time — at
+   Python scale the bookkeeping noise would swamp the I/O saved.
+
+Results feed EXPERIMENTS.md E14; ``repro bench e14 --quick`` runs the
+CI-sized variant.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+from pathlib import Path
+
+from repro.core import DrugTree, EngineConfig, QueryEngine
+from repro.obs import WallTimer, get_metrics
+from repro.storage.durable import StorageConfig
+from repro.workloads import DatasetConfig, TextTable, build_dataset
+
+WORLD = DatasetConfig(n_leaves=24, n_ligands=40, seed=601)
+N_WRITE_ROWS = 2_000
+FSYNC_POLICIES = ("always", "batch", "never")
+
+#: ``repro bench --quick`` runs this CI-sized variant.
+QUICK_KWARGS = {"n_write_rows": 400,
+                "world": DatasetConfig(n_leaves=12, n_ligands=16,
+                                       seed=601)}
+
+_ACTIVITY_TYPES = ("Ki", "Kd", "IC50", "EC50")
+
+
+def _storage(data_dir: Path, fsync: str = "never",
+             flush_bytes: int = 32 * 1024) -> StorageConfig:
+    return StorageConfig(durable=True, data_dir=str(data_dir),
+                         fsync=fsync, memtable_flush_bytes=flush_bytes)
+
+
+def _binding_rows(n_rows: int, protein_ids, labeling, seed: int):
+    rng = random.Random(seed)
+    for i in range(n_rows):
+        protein_id = protein_ids[i % len(protein_ids)]
+        p_affinity = round(rng.uniform(3.0, 10.0), 3)
+        yield {
+            "ligand_id": f"lig_{i % 997:04d}",
+            "protein_id": protein_id,
+            "activity_type": _ACTIVITY_TYPES[i % len(_ACTIVITY_TYPES)],
+            "value_nm": round(10.0 ** (9 - p_affinity), 4),
+            "p_affinity": p_affinity,
+            "potent": p_affinity >= 6.0,
+            "leaf_pre": labeling.leaf_position(protein_id),
+        }
+
+
+def _ingest_seconds(n_rows: int, storage: StorageConfig | None) -> float:
+    """Wall seconds to insert *n_rows* bindings, batched per 100 rows
+    when durable so group commit gets the shot it would get in the real
+    integration pipeline."""
+    dataset = build_dataset(WORLD)
+    tree = DrugTree(dataset.tree, storage=storage)
+    for protein_id in dataset.family.protein_ids:
+        tree.add_protein(protein_id)
+    bindings = tree.tables["bindings"]
+    rows = list(_binding_rows(n_rows, dataset.family.protein_ids,
+                              tree.labeling, seed=WORLD.seed + 7))
+    with WallTimer() as timer:
+        if storage is not None:
+            database = tree.database
+            for start in range(0, len(rows), 100):
+                with database.batch():
+                    for row in rows[start:start + 100]:
+                        bindings.insert(row)
+        else:
+            for row in rows:
+                bindings.insert(row)
+    tree.close()
+    return timer.elapsed_s
+
+
+def write_cost(n_write_rows: int) -> dict:
+    """Ingest seconds per fsync policy plus the in-memory baseline."""
+    results = {"memory": {"seconds": _ingest_seconds(n_write_rows, None)}}
+    for policy in FSYNC_POLICIES:
+        with tempfile.TemporaryDirectory() as tmp:
+            seconds = _ingest_seconds(
+                n_write_rows, _storage(Path(tmp) / "db", fsync=policy))
+        results[policy] = {
+            "seconds": seconds,
+            "slowdown_vs_memory":
+                seconds / results["memory"]["seconds"],
+        }
+    return results
+
+
+def recovery_speed(world: DatasetConfig) -> dict:
+    """Cold re-integration vs warm reopen of the same world."""
+    with tempfile.TemporaryDirectory() as tmp:
+        data_dir = Path(tmp) / "db"
+        with WallTimer() as cold:
+            dataset = build_dataset(world)
+            tree, _ = dataset.integrate(storage=_storage(data_dir))
+        tree.close()
+        with WallTimer() as warm:
+            reopened = DrugTree(build_dataset(world).tree,
+                                storage=_storage(data_dir))
+            reopened.create_default_indexes()
+        rows_restored = sum(t.row_count
+                            for t in reopened.tables.values())
+        reopened.close()
+    return {
+        "cold_integrate_s": cold.elapsed_s,
+        "warm_recover_s": warm.elapsed_s,
+        "speedup": cold.elapsed_s / warm.elapsed_s,
+        "rows_restored": rows_restored,
+    }
+
+
+def scan_pruning(world: DatasetConfig) -> dict:
+    """Segment read/prune counts for a selective vectorized scan.
+
+    The world is integrated with a small flush threshold so bindings
+    span several row-id-clustered segments, then a ``leaf_pre`` range
+    query (no index: forced seq scan) is executed vectorized and the
+    zone-map counters are read back from EXPLAIN ANALYZE.
+    """
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset = build_dataset(world)
+        tree, _ = dataset.integrate(
+            storage=_storage(Path(tmp) / "db", flush_bytes=2 * 1024))
+        engine = QueryEngine(tree, EngineConfig(
+            use_semantic_cache=False, execution_mode="vectorized",
+            use_indexes=False))
+        report = engine.analyze(
+            "SELECT ligand_id, p_affinity FROM bindings "
+            "WHERE leaf_pre >= 2 AND leaf_pre <= 3")
+        tree.close()
+    storage = report.storage
+    total = storage["segments_read"] + storage["segments_pruned"]
+    return {
+        "segments_total": total,
+        "segments_read": storage["segments_read"],
+        "segments_pruned": storage["segments_pruned"],
+        "result_rows": report.rows,
+    }
+
+
+def collect_metrics(n_write_rows: int = N_WRITE_ROWS,
+                    world: DatasetConfig = WORLD) -> dict:
+    """E14 numbers in the shape ``repro bench`` merges into
+    ``BENCH_METRICS.json``."""
+    wal_before = get_metrics().counter_values().get("wal.appends", 0)
+    results = {
+        "write_cost": write_cost(n_write_rows),
+        "recovery": recovery_speed(world),
+        "pruning": scan_pruning(world),
+    }
+    results["wal_appends_during_run"] = (
+        get_metrics().counter_values().get("wal.appends", 0) - wal_before
+    )
+    return results
+
+
+def test_e14_durability(report):
+    metrics = collect_metrics()
+
+    table = TextTable(
+        ["fsync policy", "ingest s", "vs memory"],
+        title=f"E14a  WAL write cost ({N_WRITE_ROWS} binding inserts)",
+    )
+    table.add_row("(in-memory)",
+                  f"{metrics['write_cost']['memory']['seconds']:.3f}",
+                  "1.00x")
+    for policy in FSYNC_POLICIES:
+        numbers = metrics["write_cost"][policy]
+        table.add_row(policy, f"{numbers['seconds']:.3f}",
+                      f"{numbers['slowdown_vs_memory']:.2f}x")
+    report(table)
+
+    recovery = metrics["recovery"]
+    table = TextTable(
+        ["path", "seconds"],
+        title=f"E14b  cold integrate vs warm recover "
+              f"({recovery['rows_restored']} rows)",
+    )
+    table.add_row("cold integrate", f"{recovery['cold_integrate_s']:.3f}")
+    table.add_row("warm recover", f"{recovery['warm_recover_s']:.3f}")
+    table.add_row("speedup", f"{recovery['speedup']:.2f}x")
+    report(table)
+
+    pruning = metrics["pruning"]
+    table = TextTable(
+        ["segments", "read", "pruned", "result rows"],
+        title="E14c  zone-map pruning on a leaf_pre range scan",
+    )
+    table.add_row(pruning["segments_total"], pruning["segments_read"],
+                  pruning["segments_pruned"], pruning["result_rows"])
+    report(table)
+
+    # Group commit must not cost more than per-record fsync (a 1.25
+    # noise allowance: on tmpfs-backed CI, fsync is nearly free and the
+    # two policies converge), and recovery must beat re-integration (it
+    # skips source federation, tree labeling, and protein sequencing).
+    assert metrics["write_cost"]["batch"]["seconds"] \
+        <= metrics["write_cost"]["always"]["seconds"] * 1.25
+    assert recovery["speedup"] > 1.0
+    assert pruning["segments_pruned"] >= 1
+
+
+def test_e14_quick_guard(report):
+    """CI-sized: durable ingest works end to end and prunes something."""
+    metrics = collect_metrics(**QUICK_KWARGS)
+    assert metrics["recovery"]["rows_restored"] > 0
+    assert metrics["pruning"]["segments_total"] >= 1

@@ -29,6 +29,12 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           ``.matches(...)`` calls (compile the predicate once via
           ``core/query/predicates.py``) and no ``row_as_dict`` calls
           (gather column buffers instead of materializing row dicts).
+``L007``  No direct file mutation outside ``storage/durable/`` and
+          ``obs/``: ``open(...)`` with a writing mode (any of
+          ``w``/``a``/``x``/``+``) or ``os.write`` anywhere else
+          bypasses the WAL's crash-safety protocol (CRC framing,
+          fsync policy, atomic manifest swap). Durable state goes
+          through the durable engine.
 ========  ==============================================================
 
 Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
@@ -52,6 +58,7 @@ LINT_RULES: dict[str, str] = {
     "L004": "unseeded randomness in core paths",
     "L005": "source fault silently swallowed (except ...: pass)",
     "L006": "per-row dispatch inside the vectorized batch path",
+    "L007": "direct file mutation outside storage/durable and obs",
 }
 
 #: Fully-dotted callables that read the wall clock.
@@ -86,7 +93,7 @@ _SOURCE_ERRORS = frozenset({
 })
 
 #: Modules whose names we resolve through imports.
-_TRACKED_MODULES = ("time", "datetime", "random")
+_TRACKED_MODULES = ("time", "datetime", "random", "os")
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9,\s]+))?",
                       re.IGNORECASE)
@@ -114,6 +121,24 @@ def _is_batch_path(path: str) -> bool:
     return normalized.endswith(_BATCH_PATH_SUFFIXES)
 
 
+#: ``open()`` mode characters that make the handle writable (rule L007).
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _may_mutate_files(path: str) -> bool:
+    """Paths allowed to write files directly (rule L007).
+
+    The durable engine owns every byte it persists (WAL framing,
+    SSTable layout, manifest swaps); ``obs`` may export traces and
+    metrics. Everything else must route durable state through them.
+    """
+    parts = path.replace(os.sep, "/").split("/")
+    if "obs" in parts:
+        return True
+    return any(parts[i:i + 2] == ["storage", "durable"]
+               for i in range(len(parts) - 1))
+
+
 class _Visitor(ast.NodeVisitor):
     """One pass collecting raw (code, line, message) findings."""
 
@@ -122,6 +147,7 @@ class _Visitor(ast.NodeVisitor):
         self.timing_module = _is_timing_module(path)
         self.core_path = _is_core_path(path)
         self.batch_path = _is_batch_path(path)
+        self.file_mutation_allowed = _may_mutate_files(path)
         self.findings: list[tuple[str, int, str]] = []
         self.module_aliases: dict[str, str] = {}  # local name → module
         self.symbol_imports: dict[str, str] = {}  # local name → dotted
@@ -201,6 +227,8 @@ class _Visitor(ast.NodeVisitor):
                 "compile predicates once (core/query/predicates.py) "
                 "and gather column buffers instead",
             ))
+        if not self.file_mutation_allowed:
+            self._check_file_mutation(node)
         if self.core_path:
             resolved = self._resolve(node.func)
             if resolved == "random.Random" and not node.args:
@@ -217,6 +245,42 @@ class _Visitor(ast.NodeVisitor):
                     "state; draw from a seeded random.Random instance",
                 ))
         self.generic_visit(node)
+
+    # -- L007: direct file mutation ----------------------------------------
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> str | None:
+        """The mode argument of an ``open()`` call, when it's a literal."""
+        mode_node: ast.expr | None = None
+        if len(node.args) >= 2:
+            mode_node = node.args[1]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode_node = keyword.value
+                    break
+        if isinstance(mode_node, ast.Constant) \
+                and isinstance(mode_node.value, str):
+            return mode_node.value
+        return None
+
+    def _check_file_mutation(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            mode = self._open_mode(node)
+            if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                self.findings.append((
+                    "L007", node.lineno,
+                    f"open(..., {mode!r}) mutates a file outside "
+                    "storage/durable; persist through the durable "
+                    "engine so the write is crash-safe",
+                ))
+            return
+        if self._resolve(node.func) == "os.write":
+            self.findings.append((
+                "L007", node.lineno,
+                "os.write outside storage/durable; persist through "
+                "the durable engine so the write is crash-safe",
+            ))
 
     # -- L005: swallowed source faults -------------------------------------
 

@@ -18,7 +18,12 @@ Offers the zero-code tour of the system:
   scenario with circuit breakers, deadlines, and degradation on;
 * ``bench``   — run experiment benchmark modules that expose
   ``collect_metrics()`` and merge their numbers into
-  ``benchmarks/BENCH_METRICS.json``.
+  ``benchmarks/BENCH_METRICS.json``;
+* ``compact`` — major-compact a durable data directory (bootstraps
+  one from the world options when empty) and print the LSM levels
+  before and after;
+* ``recover`` — reopen a durable data directory, replay its WAL, and
+  print the recovery report plus the restored overlay shape.
 
 Every command builds the same deterministic world from ``--seed``
 ``--leaves`` ``--ligands``, so results are reproducible and commands
@@ -562,6 +567,116 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _durable_config(args: argparse.Namespace, data_dir: str):
+    from repro.storage.durable import StorageConfig
+
+    return StorageConfig(
+        durable=True, data_dir=data_dir, fsync=args.fsync,
+        memtable_flush_bytes=args.flush_bytes,
+    )
+
+
+def _ensure_durable_world(args: argparse.Namespace, data_dir: str) -> None:
+    """Populate *data_dir* from the world options when it's empty.
+
+    An existing MANIFEST marks an adopted store; otherwise the standard
+    deterministic world is integrated in durable mode and flushed, so
+    ``compact``/``recover`` always have something real to chew on.
+    """
+    import os
+
+    if os.path.exists(os.path.join(data_dir, "MANIFEST.json")):
+        return
+    print(f"-- no manifest in {data_dir}; bootstrapping a durable "
+          f"world (leaves={args.leaves}, ligands={args.ligands}, "
+          f"seed={args.seed})")
+    dataset = _build_world(args)
+    drugtree, _ = dataset.integrate(
+        storage=_durable_config(args, data_dir)
+    )
+    drugtree.close()
+
+
+def _level_table(database, title: str) -> str:
+    table = TextTable(["level", "segments", "keys", "tombstones",
+                       "bytes"], title=title)
+    for row in database.level_stats():
+        table.add_row(row["level"], row["segments"], row["keys"],
+                      row["tombstones"], row["bytes"])
+    return table.render()
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.storage.durable import Database
+
+    with _fresh_observability() as metrics:
+        _ensure_durable_world(args, args.data_dir)
+        database = Database.open(args.data_dir,
+                                 _durable_config(args, args.data_dir))
+        before = database.level_stats()
+        print(_level_table(database, "Before"))
+        database.compact()
+        after = database.level_stats()
+        collected = int(metrics.counter_values().get(
+            "lsm.tombstones_collected", 0))
+        if args.json:
+            database.close()
+            print(json.dumps({
+                "before": before,
+                "after": after,
+                "tombstones_collected": collected,
+            }, indent=2, sort_keys=True))
+            return 0
+        print(_level_table(database, "\nAfter"))
+        database.close()
+        print(f"-- major compaction: "
+              f"{sum(r['segments'] for r in before)} segment(s) -> "
+              f"{sum(r['segments'] for r in after)}, "
+              f"{collected} tombstone(s) collected")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.core import DrugTree
+
+    with _fresh_observability():
+        _ensure_durable_world(args, args.data_dir)
+        dataset = _build_world(args)
+        drugtree = DrugTree(dataset.tree,
+                            storage=_durable_config(args, args.data_dir))
+        database = drugtree.database
+        report = database.recovery.as_dict()
+        tables = {name: table.row_count
+                  for name, table in drugtree.tables.items()}
+        if args.json:
+            print(json.dumps({
+                "recovery": report,
+                "segments": [s.as_row() for s in database.segments],
+                "tables": tables,
+            }, indent=2, sort_keys=True))
+            drugtree.close()
+            return 0
+        print(f"-- recovered {args.data_dir}: "
+              f"{report['segments']} segment(s), "
+              f"{report['wal_records']} WAL record(s) replayed, "
+              f"{report['torn_bytes']} torn byte(s) truncated, "
+              f"{report['orphans_removed']} orphan(s) removed")
+        segments = TextTable(["id", "level", "keys", "tombstones",
+                              "bytes"], title="Segments")
+        for info in database.segments:
+            row = info.as_row()
+            segments.add_row(row["id"], row["level"], row["keys"],
+                             row["tombstones"], row["bytes"])
+        print(segments.render())
+        overlay = TextTable(["table", "rows"], title="\nRestored overlay")
+        for name, count in sorted(tables.items()):
+            overlay.add_row(name, count)
+        print(overlay.render())
+        print(drugtree)
+        drugtree.close()
+    return 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.workloads import export_dataset
 
@@ -676,7 +791,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(handler=_cmd_chaos)
 
     lint = commands.add_parser(
-        "lint", help="repository invariant lint rules (L001-L006)")
+        "lint", help="repository invariant lint rules (L001-L007)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories (default: src)")
     lint.add_argument("--json", action="store_true",
@@ -705,6 +820,33 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="also print collected numbers as JSON")
     bench.set_defaults(handler=_cmd_bench)
+
+    def _add_durable_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("data_dir",
+                         help="durable data directory (bootstrapped "
+                              "from the world options when empty)")
+        sub.add_argument("--fsync", default="batch",
+                         choices=("always", "batch", "never"),
+                         help="WAL sync policy (default batch)")
+        sub.add_argument("--flush-bytes", type=int, default=64 * 1024,
+                         help="memtable bytes per SSTable flush "
+                              "(default 65536)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit machine-readable output")
+
+    compact = commands.add_parser(
+        "compact",
+        help="major-compact a durable data directory")
+    _add_world_options(compact)
+    _add_durable_options(compact)
+    compact.set_defaults(handler=_cmd_compact)
+
+    recover = commands.add_parser(
+        "recover",
+        help="reopen a durable data directory and report recovery")
+    _add_world_options(recover)
+    _add_durable_options(recover)
+    recover.set_defaults(handler=_cmd_recover)
 
     similar = commands.add_parser("similar",
                                   help="similarity search by SMILES")

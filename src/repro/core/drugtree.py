@@ -35,17 +35,38 @@ from repro.core.overlay import (
     make_overlay_tables,
 )
 from repro.errors import QueryError
+from repro.obs import get_tracer
+from repro.storage.durable import Database, StorageConfig
 from repro.storage.statistics import TableStatistics, analyze
 from repro.storage.table import Table
 
 
 class DrugTree:
-    """A queryable protein-ligand overlay over a phylogenetic tree."""
+    """A queryable protein-ligand overlay over a phylogenetic tree.
 
-    def __init__(self, tree: PhyloTree) -> None:
+    Purely in-memory by default. With
+    ``storage=StorageConfig(durable=True, data_dir=...)`` the overlay
+    tables write ahead to one shared
+    :class:`~repro.storage.durable.db.Database`, and constructing the
+    DrugTree over a non-empty data directory *recovers* it: committed
+    rows replay through the normal insert listeners (indexes, column
+    stores, and clade aggregates rebuild themselves), and ligand
+    fingerprints are recomputed from the stored SMILES. The k-mer
+    sequence index is the one piece not recovered — sequences live in
+    the federation, not the overlay, matching the snapshot layer's
+    derived-state policy.
+    """
+
+    def __init__(self, tree: PhyloTree,
+                 storage: StorageConfig | None = None) -> None:
         self.tree = tree
         self.labeling = IntervalLabeling(tree)
-        self.tables: dict[str, Table] = make_overlay_tables()
+        self.storage = storage if storage is not None else StorageConfig()
+        self.database: Database | None = None
+        if self.storage.durable:
+            self.database = Database.open(self.storage.data_dir,
+                                          self.storage)
+        self.tables: dict[str, Table] = make_overlay_tables(self.database)
         self.clade_aggregates = CladeAggregates(
             tree, self.labeling, self.tables[BINDINGS_TABLE],
         )
@@ -60,6 +81,44 @@ class DrugTree:
         for table in self.tables.values():
             table.add_insert_listener(self._on_mutation)
             table.add_delete_listener(self._on_mutation)
+        if self.database is not None:
+            self._restore_from_database()
+
+    def _restore_from_database(self) -> None:
+        """Replay the committed store into the fresh overlay.
+
+        Rows flow through :meth:`Table.restore_row`, firing the same
+        listeners as live inserts — so everything derived (indexes,
+        clade aggregates, column stores) rebuilds without its own
+        persistence format. Chemistry state (parsed molecules,
+        fingerprints, the similarity index) is recomputed from the
+        recovered ``smiles`` column.
+        """
+        with get_tracer().span("durable.recover.overlay") as span:
+            restored = 0
+            for table in self.tables.values():
+                restored += table.durable.restore_into(table)
+            proteins = self.tables[PROTEINS_TABLE]
+            for row in proteins.scan_rows():
+                self._known_proteins.add(
+                    proteins.value(row, "protein_id")
+                )
+            ligands = self.tables[LIGANDS_TABLE]
+            for row in ligands.scan_rows():
+                ligand_id = ligands.value(row, "ligand_id")
+                molecule = parse_smiles(ligands.value(row, "smiles"),
+                                        name=ligand_id)
+                fingerprint = circular_fingerprint(molecule)
+                self.fingerprints[ligand_id] = fingerprint
+                self.fingerprint_index.add(ligand_id, fingerprint)
+                self.molecules[ligand_id] = molecule
+                self._known_ligands.add(ligand_id)
+            span.set("rows", restored)
+
+    def close(self) -> None:
+        """Flush and release the durable store (no-op in-memory)."""
+        if self.database is not None:
+            self.database.close()
 
     # -- population ------------------------------------------------------------
 
@@ -242,14 +301,15 @@ class DrugTree:
               proteins: list[dict[str, Any]] | None = None,
               ligands: list[dict[str, Any]] | None = None,
               bindings: list[BindingRecord] | None = None,
-              create_indexes: bool = True) -> "DrugTree":
+              create_indexes: bool = True,
+              storage: StorageConfig | None = None) -> "DrugTree":
         """Assemble a DrugTree from in-memory records.
 
         ``proteins`` entries are keyword dicts for :meth:`add_protein`
         (``protein_id`` required); ``ligands`` entries for
         :meth:`add_ligand` (``ligand_id``, ``smiles``, ``descriptors``).
         """
-        drugtree = cls(tree)
+        drugtree = cls(tree, storage=storage)
         for protein in proteins or []:
             drugtree.add_protein(**protein)
         for ligand in ligands or []:

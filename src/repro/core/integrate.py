@@ -41,6 +41,7 @@ from repro.sources.clock import Stopwatch
 from repro.sources.protein import KIND_PROTEIN, ProteinEntry
 from repro.sources.registry import SourceRegistry
 from repro.sources.scheduler import FetchScheduler
+from repro.storage.durable import StorageConfig
 
 FETCH_MODES = ("batched", "per_item", "concurrent")
 
@@ -217,19 +218,22 @@ class IntegrationPipeline:
 
     def build_drugtree(self, tree: PhyloTree,
                        create_indexes: bool = True,
+                       storage: "StorageConfig | None" = None,
                        ) -> tuple[DrugTree, IntegrationReport]:
         """Integrate every leaf's records into a fresh DrugTree.
 
         Tree leaves are the protein ids; proteins absent from the
         structure source still get a (sparse) row so the overlay always
-        covers the whole tree.
+        covers the whole tree. *storage* passes through to
+        :class:`DrugTree` — a durable config makes every integrated
+        record land in the write-ahead log.
         """
         stats_before = self.registry.combined_stats()
         overlap_before = (self.scheduler.stats.overlap_saved_s
                           if self.scheduler else 0.0)
         report = IntegrationReport(mode=self.mode)
 
-        drugtree = DrugTree(tree)
+        drugtree = DrugTree(tree, storage=storage)
         protein_ids = tree.leaf_names()
         clock = self.registry.sources()[0].clock
 

@@ -20,6 +20,7 @@ from repro.bio.tree import PhyloNode, PhyloTree
 from repro.core.labeling import IntervalLabeling
 from repro.errors import QueryError
 from repro.storage import (
+    DurableTableAdapter,
     Schema,
     Table,
     bool_column,
@@ -71,12 +72,21 @@ def bindings_schema() -> Schema:
     ])
 
 
-def make_overlay_tables() -> dict[str, Table]:
-    """Fresh, empty overlay tables keyed by canonical name."""
+def make_overlay_tables(database=None) -> dict[str, Table]:
+    """Fresh, empty overlay tables keyed by canonical name.
+
+    With a :class:`~repro.storage.durable.db.Database`, each table gets
+    a durable adapter so its mutations flow through the shared WAL.
+    """
+    def build(name: str, schema: Schema) -> Table:
+        durable = (DurableTableAdapter(database, name)
+                   if database is not None else None)
+        return Table(name, schema, durable=durable)
+
     return {
-        PROTEINS_TABLE: Table(PROTEINS_TABLE, proteins_schema()),
-        LIGANDS_TABLE: Table(LIGANDS_TABLE, ligands_schema()),
-        BINDINGS_TABLE: Table(BINDINGS_TABLE, bindings_schema()),
+        PROTEINS_TABLE: build(PROTEINS_TABLE, proteins_schema()),
+        LIGANDS_TABLE: build(LIGANDS_TABLE, ligands_schema()),
+        BINDINGS_TABLE: build(BINDINGS_TABLE, bindings_schema()),
     }
 
 

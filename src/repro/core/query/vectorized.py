@@ -261,9 +261,25 @@ class _VecScanBase(VectorOp):
 
 
 class VecSeqScanOp(_VecScanBase):
-    """Full-table scan: selection vectors over all live positions."""
+    """Full-table scan: selection vectors over all live positions.
+
+    On a durable table with residual predicates, flushed segments'
+    zone maps are consulted first: segments whose min/max intervals
+    refute a predicate are skipped without touching their positions,
+    and only the surviving row-id ranges (plus the memtable's) are
+    scanned. The positions come back in insertion order, so output
+    order and row counts match the unpruned scan exactly.
+    """
 
     def batches(self) -> Iterator[Batch]:
+        durable = self.store.table.durable
+        if durable is not None and self.residual:
+            positions = durable.scan_positions(
+                self.store, self.residual, self.counters,
+            )
+            if positions is not None:
+                yield from self._scan_positions(positions)
+                return
         yield from self._scan_positions(self.store.live_positions())
 
 

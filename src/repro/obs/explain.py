@@ -140,6 +140,10 @@ class AnalyzeReport:
     #: vectorized mode, ``batches``/``rows_per_batch``/``batch_size``;
     #: empty when built by callers that predate the vectorized engine.
     execution: dict[str, Any] = field(default_factory=dict)
+    #: Durable-storage facts: ``durable`` plus ``segments_read`` /
+    #: ``segments_pruned`` (zone-map pruning during this execution);
+    #: empty for purely in-memory DrugTrees.
+    storage: dict[str, Any] = field(default_factory=dict)
 
     @property
     def row_estimate_error(self) -> float:
@@ -183,6 +187,12 @@ class AnalyzeReport:
                     f"batch_size={self.execution['batch_size']}"
                 )
             lines.append("-- execution: " + ", ".join(parts))
+        if self.storage:
+            lines.append(
+                "-- storage: durable, segments read="
+                f"{self.storage.get('segments_read', 0)}, "
+                f"pruned={self.storage.get('segments_pruned', 0)}"
+            )
         if self.source_roundtrips:
             parts = [
                 f"{name}: +{int(delta['during'])} during execution, "
@@ -240,5 +250,6 @@ class AnalyzeReport:
             "analysis": list(self.analysis),
             "resilience": dict(self.resilience),
             "execution": dict(self.execution),
+            "storage": dict(self.storage),
             "operators": self.operators.as_dict(),
         }

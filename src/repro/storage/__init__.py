@@ -5,6 +5,11 @@ optimizer plans against their indexes and statistics.
 """
 
 from repro.storage.columnar import ColumnStore
+from repro.storage.durable import (
+    Database,
+    DurableTableAdapter,
+    StorageConfig,
+)
 from repro.storage.index import HashIndex, Index, SortedIndex
 from repro.storage.matview import AGGREGATES, MaterializedAggregate
 from repro.storage.schema import (
@@ -30,12 +35,15 @@ __all__ = [
     "ColumnStatistics",
     "ColumnStore",
     "ColumnType",
+    "Database",
+    "DurableTableAdapter",
     "HashIndex",
     "Histogram",
     "Index",
     "MaterializedAggregate",
     "Schema",
     "SortedIndex",
+    "StorageConfig",
     "Table",
     "TableStatistics",
     "analyze",

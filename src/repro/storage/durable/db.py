@@ -1,0 +1,662 @@
+"""The durable key-value database: WAL + memtable + leveled SSTables.
+
+One :class:`Database` persists every overlay table of a DrugTree under
+a single data directory::
+
+    data_dir/
+        MANIFEST.json     # the authority: segment list + WAL name
+        wal.log           # CRC-framed records since the last flush
+        seg-000001.sst    # immutable sorted segments, leveled
+
+Write path: a mutation is framed into the WAL *first* (group commit
+and fsync policy per :class:`StorageConfig`), then applied to the
+memtable; once the memtable passes ``memtable_flush_bytes`` it is
+written as a level-0 SSTable, the manifest is swapped atomically
+(``tmp`` + ``os.replace``), and the WAL resets. When a level collects
+more than ``level_fanout`` segments, it is merged with the level below
+into one new segment; tombstones are garbage-collected only when the
+merge lands on the bottom level (below which no older version of any
+key can hide).
+
+Recovery (:meth:`Database.open`) is the inverse: read the manifest,
+drop orphaned segment files the manifest never adopted (the residue of
+a crash mid-flush), replay the WAL — truncating a torn tail — into a
+fresh memtable. The committed pre-crash state is restored exactly:
+a record is committed once its WAL frame is complete, and nothing else
+survives.
+
+Keys are strings. Overlay rows use ``t/<table>/<row_id:012d>`` (zero
+padding makes lexicographic order equal numeric row-id order) with the
+row tuple JSON-encoded — floats round-trip bit-exactly through
+``repr``. ``m/<table>/rowid`` holds the table's next-row-id watermark,
+written on delete so tombstone GC can never regress row-id assignment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import StorageError
+from repro.obs import get_metrics, get_tracer
+from repro.storage.durable import failpoints
+from repro.storage.durable.memtable import TOMBSTONE, MemTable
+from repro.storage.durable.sstable import SSTableReader, write_sstable
+from repro.storage.durable.wal import WriteAheadLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.columnar import ColumnStore
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.log"
+
+#: Operators a zone map can refute (NULL never matches any of them).
+_ZONE_OPS = frozenset({"=", "<", "<=", ">", ">="})
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Knobs of the table layer's (opt-in) durable mode."""
+
+    durable: bool = False
+    data_dir: str | None = None
+    #: WAL sync policy: ``always`` | ``batch`` | ``never``.
+    fsync: str = "batch"
+    #: Unsynced WAL bytes that trigger a group-commit fsync.
+    wal_batch_bytes: int = 64 * 1024
+    #: Memtable size that triggers a flush to a level-0 SSTable.
+    memtable_flush_bytes: int = 256 * 1024
+    #: SSTable block-index granularity.
+    block_bytes: int = 4096
+    #: Segments a level tolerates before compacting into the next.
+    level_fanout: int = 4
+
+    def __post_init__(self) -> None:
+        if self.fsync not in ("always", "batch", "never"):
+            raise StorageError(f"unknown fsync policy {self.fsync!r}")
+        if self.durable and not self.data_dir:
+            raise StorageError("durable mode needs a data_dir")
+
+
+def row_key(table: str, row_id: int) -> str:
+    """Zero-padded so key order equals row-id order per table."""
+    return f"t/{table}/{row_id:012d}"
+
+
+def parse_row_key(key: str) -> tuple[str, int]:
+    _, table, rid = key.split("/", 2)
+    return table, int(rid)
+
+
+def meta_key(table: str) -> str:
+    return f"m/{table}/rowid"
+
+
+@dataclass
+class SegmentInfo:
+    """One manifest-adopted SSTable."""
+
+    segment_id: int
+    level: int
+    file: str
+    reader: SSTableReader
+
+    def as_row(self) -> dict[str, Any]:
+        return {
+            "id": self.segment_id,
+            "level": self.level,
+            "file": self.file,
+            "keys": self.reader.count,
+            "tombstones": self.reader.tombstones,
+            "bytes": self.reader.size_bytes,
+            "min_key": self.reader.min_key,
+            "max_key": self.reader.max_key,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`Database.open` found and repaired."""
+
+    segments: int = 0
+    wal_records: int = 0
+    torn_bytes: int = 0
+    orphans_removed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "segments": self.segments,
+            "wal_records": self.wal_records,
+            "torn_bytes": self.torn_bytes,
+            "orphans_removed": self.orphans_removed,
+        }
+
+
+class Database:
+    """An LSM-tree key-value store under one data directory."""
+
+    def __init__(self, data_dir: str,
+                 config: StorageConfig | None = None) -> None:
+        self.data_dir = data_dir
+        self.config = config or StorageConfig(durable=True,
+                                              data_dir=data_dir)
+        os.makedirs(data_dir, exist_ok=True)
+        self.segments: list[SegmentInfo] = []
+        self.next_segment_id = 1
+        self.memtable = MemTable()
+        self.recovery = RecoveryReport()
+        self.compactions = 0
+        self.tombstones_collected = 0
+        self._in_batch = False
+        self._closed = False
+        self._recover()
+        self.wal = WriteAheadLog(
+            os.path.join(data_dir, WAL_NAME),
+            fsync=self.config.fsync,
+            batch_bytes=self.config.wal_batch_bytes,
+        )
+        self._publish_gauges()
+
+    @classmethod
+    def open(cls, data_dir: str,
+             config: StorageConfig | None = None) -> "Database":
+        """Open (and recover) the database at *data_dir*."""
+        return cls(data_dir, config)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.data_dir, MANIFEST_NAME)
+
+    def _recover(self) -> None:
+        tracer = get_tracer()
+        with tracer.span("durable.recover",
+                         data_dir=self.data_dir) as span:
+            manifest: dict[str, Any] = {"segments": [],
+                                        "next_segment_id": 1}
+            path = self._manifest_path()
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            adopted: set[str] = set()
+            for entry in manifest["segments"]:
+                file_path = os.path.join(self.data_dir, entry["file"])
+                if not os.path.exists(file_path):
+                    raise StorageError(
+                        f"manifest references missing segment "
+                        f"{entry['file']!r}"
+                    )
+                self.segments.append(SegmentInfo(
+                    segment_id=entry["id"], level=entry["level"],
+                    file=entry["file"],
+                    reader=SSTableReader(file_path),
+                ))
+                adopted.add(entry["file"])
+            self.next_segment_id = manifest["next_segment_id"]
+            # Orphans: segment files a crash wrote but the manifest
+            # never adopted. The manifest is the authority; drop them.
+            for name in sorted(os.listdir(self.data_dir)):
+                if name.startswith("seg-") and name.endswith(".sst") \
+                        and name not in adopted:
+                    os.remove(os.path.join(self.data_dir, name))
+                    self.recovery.orphans_removed += 1
+            payloads, torn = WriteAheadLog.replay(
+                os.path.join(self.data_dir, WAL_NAME)
+            )
+            for payload in payloads:
+                record = json.loads(payload)
+                value = (TOMBSTONE if record["op"] == "del"
+                         else record["value"])
+                self.memtable.put(record["key"], value, len(payload))
+            self.recovery.segments = len(self.segments)
+            self.recovery.wal_records = len(payloads)
+            self.recovery.torn_bytes = torn
+            span.set("segments", len(self.segments))
+            span.set("wal_records", len(payloads))
+            span.set("torn_bytes", torn)
+            span.set("orphans_removed", self.recovery.orphans_removed)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "segments": [
+                {"id": s.segment_id, "level": s.level, "file": s.file}
+                for s in self.segments
+            ],
+            "next_segment_id": self.next_segment_id,
+        }
+        tmp = self._manifest_path() + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._manifest_path())
+
+    # -- write path --------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        self._log({"op": "put", "key": key, "value": value})
+
+    def delete(self, key: str) -> None:
+        self._log({"op": "del", "key": key})
+
+    def _log(self, record: dict[str, Any]) -> None:
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        self.wal.append(payload, defer_sync=self._in_batch)
+        value = TOMBSTONE if record["op"] == "del" else record["value"]
+        self.memtable.put(record["key"], value, len(payload))
+        get_metrics().gauge("memtable.bytes").set(self.memtable.bytes)
+        failpoints.hit("db.after_append")
+        if not self._in_batch \
+                and self.memtable.bytes >= self.config.memtable_flush_bytes:
+            self.flush()
+
+    class _Batch:
+        """Group commit: one fsync (and flush check) per batch."""
+
+        def __init__(self, db: "Database") -> None:
+            self.db = db
+
+        def __enter__(self) -> "Database":
+            self.db._in_batch = True
+            return self.db
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            self.db._in_batch = False
+            if exc_type is None:
+                self.db.wal.sync()
+                if self.db.memtable.bytes \
+                        >= self.db.config.memtable_flush_bytes:
+                    self.db.flush()
+
+    def batch(self) -> "_Batch":
+        return self._Batch(self)
+
+    # -- read path ---------------------------------------------------------
+
+    def get(self, key: str) -> Any:
+        """Newest committed value of *key*, or ``None``."""
+        if key in self.memtable:
+            value = self.memtable.get(key)
+            return None if value is TOMBSTONE else value
+        for segment in sorted(self.segments,
+                              key=lambda s: s.segment_id, reverse=True):
+            found, value = segment.reader.get(key)
+            if found:
+                return None if value is TOMBSTONE else value
+        return None
+
+    def scan(self, prefix: str = ""):
+        """Live ``(key, value)`` pairs under *prefix*, in key order.
+
+        Merges segments oldest-to-newest, then the memtable, so the
+        newest version of each key wins; tombstoned keys are dropped.
+        Segment-id recency is sound because compaction always consumes
+        *whole* levels: a merged segment's id is newer than everything
+        it replaced.
+        """
+        merged: dict[str, Any] = {}
+        for segment in sorted(self.segments,
+                              key=lambda s: s.segment_id):
+            for key, value in segment.reader.entries():
+                if key.startswith(prefix):
+                    merged[key] = value
+        for key in self.memtable.keys():
+            if key.startswith(prefix):
+                merged[key] = self.memtable.get(key)
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not TOMBSTONE:
+                yield key, value
+
+    # -- flush & compaction ------------------------------------------------
+
+    def _write_segment(self, items: list[tuple[str, Any]],
+                       level: int) -> SegmentInfo:
+        segment_id = self.next_segment_id
+        self.next_segment_id += 1
+        name = f"seg-{segment_id:06d}.sst"
+        write_sstable(
+            os.path.join(self.data_dir, name), items,
+            meta=_table_meta(items),
+            block_bytes=self.config.block_bytes,
+        )
+        return SegmentInfo(
+            segment_id=segment_id, level=level, file=name,
+            reader=SSTableReader(os.path.join(self.data_dir, name)),
+        )
+
+    def flush(self) -> SegmentInfo | None:
+        """Freeze the memtable into a level-0 segment; reset the WAL."""
+        if not len(self.memtable):
+            return None
+        tracer = get_tracer()
+        with tracer.span("durable.flush",
+                         entries=len(self.memtable)) as span:
+            self.wal.sync()
+            segment = self._write_segment(self.memtable.items_sorted(),
+                                          level=0)
+            # A kill here leaves the segment orphaned and the WAL
+            # intact: recovery drops the file and replays the log.
+            failpoints.hit("flush.before_manifest")
+            self.segments.append(segment)
+            self._write_manifest()
+            self.wal.reset()
+            self.memtable.clear()
+            span.set("segment", segment.file)
+            get_metrics().counter("lsm.flushes").inc()
+        self._publish_gauges()
+        self.maybe_compact()
+        return segment
+
+    def maybe_compact(self) -> None:
+        """Compact any level holding more than ``level_fanout`` segments."""
+        while True:
+            counts: dict[int, int] = {}
+            for segment in self.segments:
+                counts[segment.level] = counts.get(segment.level, 0) + 1
+            overfull = [level for level, count in counts.items()
+                        if count > self.config.level_fanout]
+            if not overfull:
+                return
+            self.compact_level(min(overfull))
+
+    def compact_level(self, level: int) -> SegmentInfo | None:
+        """Merge all of *level* and *level + 1* into one new segment.
+
+        Tombstones are dropped only when the output becomes the
+        bottom-most level — below it no older segment can still hold a
+        value the tombstone must keep shadowing.
+        """
+        merging = [s for s in self.segments
+                   if s.level in (level, level + 1)]
+        if not merging:
+            return None
+        bottom = all(s.level <= level + 1 for s in self.segments)
+        tracer = get_tracer()
+        with tracer.span("durable.compact", level=level,
+                         inputs=len(merging)) as span:
+            merged: dict[str, Any] = {}
+            for segment in sorted(merging, key=lambda s: s.segment_id):
+                for key, value in segment.reader.entries():
+                    merged[key] = value
+            items = []
+            dropped = 0
+            for key in sorted(merged):
+                value = merged[key]
+                if value is TOMBSTONE and bottom:
+                    dropped += 1
+                    continue
+                items.append((key, value))
+            survivors = [s for s in self.segments if s not in merging]
+            if items:
+                segment = self._write_segment(items, level=level + 1)
+            else:
+                segment = None
+            failpoints.hit("compact.before_manifest")
+            self.segments = survivors + ([segment] if segment else [])
+            self._write_manifest()
+            for old in merging:
+                os.remove(os.path.join(self.data_dir, old.file))
+            self.compactions += 1
+            self.tombstones_collected += dropped
+            metrics = get_metrics()
+            metrics.counter("lsm.compactions").inc()
+            metrics.counter("lsm.tombstones_collected").inc(dropped)
+            span.set("output", segment.file if segment else None)
+            span.set("tombstones_dropped", dropped)
+        self._publish_gauges()
+        return segment
+
+    def compact(self) -> None:
+        """Major compaction: everything into one tombstone-free segment."""
+        self.flush()
+        while len(self.segments) > 1:
+            self.compact_level(min(s.level for s in self.segments))
+        if self.segments and self.segments[0].reader.tombstones:
+            self.compact_level(self.segments[0].level)
+
+    def _publish_gauges(self) -> None:
+        metrics = get_metrics()
+        metrics.gauge("memtable.bytes").set(self.memtable.bytes)
+        counts: dict[int, int] = {}
+        for segment in self.segments:
+            counts[segment.level] = counts.get(segment.level, 0) + 1
+        for level in range(max(counts, default=-1) + 1):
+            metrics.gauge(f"lsm.level_{level}.segments").set(
+                counts.get(level, 0)
+            )
+
+    # -- inspection --------------------------------------------------------
+
+    def level_stats(self) -> list[dict[str, Any]]:
+        """Per-level segment/key/byte totals (the CLI's table)."""
+        levels: dict[int, dict[str, int]] = {}
+        for segment in self.segments:
+            stats = levels.setdefault(
+                segment.level,
+                {"segments": 0, "keys": 0, "tombstones": 0, "bytes": 0},
+            )
+            stats["segments"] += 1
+            stats["keys"] += segment.reader.count
+            stats["tombstones"] += segment.reader.tombstones
+            stats["bytes"] += segment.reader.size_bytes
+        return [{"level": level, **stats}
+                for level, stats in sorted(levels.items())]
+
+    def table_segments(self, table: str) -> list[dict[str, Any]]:
+        """Segment metadata rows relevant to *table* (for pruning)."""
+        relevant = []
+        for segment in self.segments:
+            meta = segment.reader.meta.get(table)
+            if meta is not None:
+                relevant.append(meta)
+        return relevant
+
+    def memtable_row_interval(self, table: str) -> tuple[int, int] | None:
+        """Inclusive row-id interval of *table*'s unflushed puts."""
+        prefix = f"t/{table}/"
+        low = high = None
+        for key in self.memtable.keys():
+            if not key.startswith(prefix) \
+                    or self.memtable.get(key) is TOMBSTONE:
+                continue
+            rid = int(key.rsplit("/", 1)[1])
+            low = rid if low is None else min(low, rid)
+            high = rid if high is None else max(high, rid)
+        if low is None:
+            return None
+        return low, high
+
+    def close(self) -> None:
+        """Clean shutdown: flush what's pending, release the WAL.
+
+        Idempotent — a second close is a no-op, so owners with
+        overlapping lifetimes (a DrugTree and a test fixture, say) can
+        both call it safely.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        self.wal.close()
+
+    def __repr__(self) -> str:
+        return (f"Database({self.data_dir!r}, "
+                f"segments={len(self.segments)}, "
+                f"memtable={len(self.memtable)})")
+
+
+def _table_meta(items: list[tuple[str, Any]]) -> dict[str, Any]:
+    """Per-table row-id intervals and column zone maps of a segment.
+
+    Only ``t/<table>/<rid>`` *puts* contribute: tombstones carry no
+    values and their row ids must not widen the interval (a segment
+    holding only the tombstone of row 3 does not contain row 3).
+    Zones hold ``[min, max]`` per column position over non-NULL values;
+    a position whose values are all NULL stores ``null``, which any
+    comparison predicate refutes outright (NULL never matches).
+    """
+    tables: dict[str, dict[str, Any]] = {}
+    for key, value in items:
+        if value is TOMBSTONE or not key.startswith("t/") \
+                or not isinstance(value, list):
+            continue  # zone maps only describe positional row values
+        table, rid = parse_row_key(key)
+        meta = tables.get(table)
+        if meta is None:
+            meta = tables[table] = {
+                "rid_min": rid, "rid_max": rid,
+                "zones": [None] * len(value),
+            }
+        else:
+            meta["rid_min"] = min(meta["rid_min"], rid)
+            meta["rid_max"] = max(meta["rid_max"], rid)
+            if len(meta["zones"]) < len(value):
+                meta["zones"].extend(
+                    [None] * (len(value) - len(meta["zones"]))
+                )
+        for position, cell in enumerate(value):
+            if cell is None:
+                continue
+            zone = meta["zones"][position]
+            if zone is None:
+                meta["zones"][position] = [cell, cell]
+            else:
+                if _zone_less(cell, zone[0]):
+                    zone[0] = cell
+                if _zone_less(zone[1], cell):
+                    zone[1] = cell
+    return tables
+
+
+def _zone_less(left: Any, right: Any) -> bool:
+    """``left < right`` only between comparable (same-kind) values."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool) \
+            and left < right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left < right
+    if isinstance(left, str) and isinstance(right, str):
+        return left < right
+    return False
+
+
+def _comparable(value: Any, bound: Any) -> bool:
+    if isinstance(value, bool) or isinstance(bound, bool):
+        return isinstance(value, bool) and isinstance(bound, bool)
+    if isinstance(value, (int, float)):
+        return isinstance(bound, (int, float))
+    if isinstance(value, str):
+        return isinstance(bound, str)
+    return False
+
+
+def _zone_refutes(zone: list[Any] | None, op: str, literal: Any) -> bool:
+    """True when no value inside *zone* can satisfy ``op literal``."""
+    if zone is None:
+        # Every value in the segment is NULL, and NULL matches nothing.
+        return True
+    low, high = zone
+    if not (_comparable(low, literal) and _comparable(high, literal)):
+        return False
+    if op == "=":
+        return literal < low or literal > high
+    if op == "<":
+        return low >= literal
+    if op == "<=":
+        return low > literal
+    if op == ">":
+        return high <= literal
+    if op == ">=":
+        return high < literal
+    return False
+
+
+class DurableTableAdapter:
+    """Bridge between one :class:`~repro.storage.table.Table` and the
+    shared :class:`Database`.
+
+    The table calls :meth:`log_insert` / :meth:`log_delete` *before*
+    touching its in-memory state (write-ahead order), and
+    :meth:`restore_into` replays the store back through the table's
+    normal listener machinery on open — secondary indexes, column
+    stores, and materialized aggregates rebuild themselves exactly as
+    they would under live inserts.
+    """
+
+    def __init__(self, database: Database, table_name: str) -> None:
+        self.database = database
+        self.table_name = table_name
+        self._column_positions: dict[str, int] | None = None
+
+    # -- write-ahead logging -----------------------------------------------
+
+    def log_insert(self, row_id: int, row: tuple[Any, ...]) -> None:
+        self.database.put(row_key(self.table_name, row_id), list(row))
+
+    def log_delete(self, row_id: int, next_row_id: int) -> None:
+        # One group commit: the tombstone and the row-id watermark land
+        # under a single fsync, so GC can never regress id assignment.
+        with self.database.batch() as db:
+            db.delete(row_key(self.table_name, row_id))
+            db.put(meta_key(self.table_name), next_row_id)
+
+    # -- recovery ----------------------------------------------------------
+
+    def restore_into(self, table: Any) -> int:
+        """Replay committed rows into *table*; returns rows restored."""
+        restored = 0
+        prefix = f"t/{self.table_name}/"
+        for key, value in self.database.scan(prefix):
+            _, rid = parse_row_key(key)
+            table.restore_row(rid, tuple(value))
+            restored += 1
+        watermark = self.database.get(meta_key(self.table_name))
+        if watermark is not None:
+            table.bump_next_row_id(int(watermark))
+        return restored
+
+    # -- segment pruning ---------------------------------------------------
+
+    def scan_positions(self, store: "ColumnStore", residual: Any,
+                       counters: Any) -> list[int] | None:
+        """Buffer positions a residual-filtered scan must visit.
+
+        Checks every flushed segment's zone maps against the residual
+        predicates; segments refuted by a zone are skipped wholesale.
+        Returns ``None`` when nothing was prunable (caller scans all
+        live positions — same work, no position list built), otherwise
+        the kept positions: non-pruned segments' row-id intervals plus
+        the memtable's, mapped through the column store.
+        """
+        segments = self.database.table_segments(self.table_name)
+        if not segments:
+            return None
+        schema = store.table.schema
+        checks = []
+        for pred in residual:
+            if pred.op in _ZONE_OPS and schema.has_column(pred.column):
+                checks.append((schema.index_of(pred.column), pred.op,
+                               pred.value))
+        if not checks:
+            return None
+        kept: list[tuple[int, int]] = []
+        pruned = 0
+        for meta in segments:
+            zones = meta["zones"]
+            if any(_zone_refutes(
+                    zones[position] if position < len(zones) else None,
+                    op, literal) for position, op, literal in checks):
+                pruned += 1
+                continue
+            kept.append((meta["rid_min"], meta["rid_max"]))
+        counters.segments_read += len(segments) - pruned
+        counters.segments_pruned += pruned
+        if not pruned:
+            return None
+        interval = self.database.memtable_row_interval(self.table_name)
+        if interval is not None:
+            kept.append(interval)
+        return store.positions_in_row_id_ranges(kept)

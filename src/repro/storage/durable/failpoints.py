@@ -1,0 +1,50 @@
+"""Crash injection for the durability tests.
+
+A *failpoint* is a named spot inside the storage engine where a test
+can arm a simulated process kill. When execution reaches an armed
+point, :exc:`CrashPoint` is raised (once — arming is one-shot) and the
+test then reopens the database from disk, exactly as a restarted
+process would, to assert that recovery restores the committed state.
+
+:exc:`CrashPoint` deliberately does **not** derive from
+:class:`~repro.errors.DrugTreeError`: nothing in the library may catch
+and survive a simulated kill, the way a real ``kill -9`` cannot be
+caught.
+"""
+
+from __future__ import annotations
+
+_armed: set[str] = set()
+
+
+class CrashPoint(Exception):
+    """A simulated crash at a named failpoint."""
+
+
+def arm(name: str) -> None:
+    """Arm *name*: the next :func:`hit` on it raises, one-shot."""
+    _armed.add(name)
+
+
+def clear() -> None:
+    """Disarm every failpoint (test teardown)."""
+    _armed.clear()
+
+
+def armed(name: str) -> bool:
+    return name in _armed
+
+
+def consume(name: str) -> bool:
+    """True (and disarm) when *name* is armed — for call sites that
+    need to do partial work (e.g. write half a frame) before dying."""
+    if name in _armed:
+        _armed.discard(name)
+        return True
+    return False
+
+
+def hit(name: str) -> None:
+    """Raise :exc:`CrashPoint` when *name* is armed, then disarm it."""
+    if consume(name):
+        raise CrashPoint(name)

@@ -1,0 +1,220 @@
+"""Immutable sorted segments (SSTables) with bloom and block index.
+
+File layout::
+
+    entry*  footer-json  footer-length:u64
+
+Each entry is ``flag:u8 · key_len:u32 · value_len:u32 · key · value``;
+``flag`` 1 marks a tombstone (no value bytes). Entries are written in
+key order. The JSON footer carries everything a reader needs without
+scanning the data area:
+
+* ``block_index`` — ``[first_key, offset]`` pairs, one per
+  ``block_bytes`` of entries, so point lookups seek to one block and
+  scan at most a block's worth of entries;
+* ``bloom`` — a bloom filter over every key (tombstones included), so
+  lookups for absent keys skip the file without touching the data area;
+* ``min_key`` / ``max_key`` — the segment's key range;
+* ``meta`` — caller-supplied annotations; the database stores per-table
+  row-id intervals and per-column min/max *zone maps* here, which is
+  what lets the vectorized scan prune whole segments.
+
+The bloom hashes derive from :func:`hashlib.md5` double hashing, not
+Python's builtin ``hash`` — the builtin is salted per process, and a
+filter written by one process must answer in the next (that is the
+whole point of a durable store).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.durable.memtable import TOMBSTONE
+
+_ENTRY = struct.Struct("<BII")  # flag, key length, value length
+_FOOTER_LEN = struct.Struct("<Q")
+
+_FLAG_PUT = 0
+_FLAG_TOMBSTONE = 1
+
+
+class BloomFilter:
+    """Fixed-size bloom filter with deterministic double hashing."""
+
+    def __init__(self, m_bits: int, k_hashes: int,
+                 bits: bytearray | None = None) -> None:
+        if m_bits <= 0 or k_hashes <= 0:
+            raise StorageError("bloom filter needs positive m and k")
+        self.m_bits = m_bits
+        self.k_hashes = k_hashes
+        self.bits = bits if bits is not None \
+            else bytearray((m_bits + 7) // 8)
+
+    @classmethod
+    def for_count(cls, count: int,
+                  bits_per_key: int = 10) -> "BloomFilter":
+        """Sized for *count* keys (~1% false positives at 10 bits)."""
+        return cls(max(64, count * bits_per_key), 7)
+
+    def _positions(self, key: str) -> list[int]:
+        digest = hashlib.md5(key.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return [(h1 + i * h2) % self.m_bits
+                for i in range(self.k_hashes)]
+
+    def add(self, key: str) -> None:
+        for position in self._positions(key):
+            self.bits[position >> 3] |= 1 << (position & 7)
+
+    def might_contain(self, key: str) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(self.bits[p >> 3] & (1 << (p & 7))
+                   for p in self._positions(key))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"m": self.m_bits, "k": self.k_hashes,
+                "bits": self.bits.hex()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "BloomFilter":
+        return cls(data["m"], data["k"], bytearray.fromhex(data["bits"]))
+
+
+def _encode_entry(key: str, value: Any) -> bytes:
+    key_bytes = key.encode("utf-8")
+    if value is TOMBSTONE:
+        return _ENTRY.pack(_FLAG_TOMBSTONE, len(key_bytes), 0) + key_bytes
+    value_bytes = json.dumps(value, separators=(",", ":")).encode("utf-8")
+    return (_ENTRY.pack(_FLAG_PUT, len(key_bytes), len(value_bytes))
+            + key_bytes + value_bytes)
+
+
+def write_sstable(path: str, items: list[tuple[str, Any]],
+                  meta: dict[str, Any] | None = None,
+                  block_bytes: int = 4096) -> None:
+    """Write sorted ``(key, value-or-TOMBSTONE)`` *items* to *path*.
+
+    The file is complete only once the footer length lands; a crash
+    mid-write leaves a file the manifest never references (recovery
+    removes such orphans).
+    """
+    if items and any(items[i][0] >= items[i + 1][0]
+                     for i in range(len(items) - 1)):
+        raise StorageError("sstable items must be strictly sorted by key")
+    bloom = BloomFilter.for_count(max(1, len(items)))
+    block_index: list[tuple[str, int]] = []
+    offset = 0
+    block_start: int | None = None
+    tombstones = 0
+    with open(path, "wb") as handle:
+        for key, value in items:
+            bloom.add(key)
+            if value is TOMBSTONE:
+                tombstones += 1
+            if block_start is None or offset - block_start >= block_bytes:
+                block_index.append((key, offset))
+                block_start = offset
+            encoded = _encode_entry(key, value)
+            handle.write(encoded)
+            offset += len(encoded)
+        footer = {
+            "block_index": block_index,
+            "bloom": bloom.as_dict(),
+            "min_key": items[0][0] if items else None,
+            "max_key": items[-1][0] if items else None,
+            "count": len(items),
+            "tombstones": tombstones,
+            "data_end": offset,
+            "meta": meta or {},
+        }
+        footer_bytes = json.dumps(
+            footer, separators=(",", ":")).encode("utf-8")
+        handle.write(footer_bytes)
+        handle.write(_FOOTER_LEN.pack(len(footer_bytes)))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class SSTableReader:
+    """Random and sequential access to one written segment."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        with open(path, "rb") as handle:
+            handle.seek(0, 2)
+            size = handle.tell()
+            if size < _FOOTER_LEN.size:
+                raise StorageError(f"sstable {path!r} has no footer")
+            handle.seek(size - _FOOTER_LEN.size)
+            (footer_len,) = _FOOTER_LEN.unpack(handle.read(_FOOTER_LEN.size))
+            if footer_len > size - _FOOTER_LEN.size:
+                raise StorageError(f"sstable {path!r} footer truncated")
+            handle.seek(size - _FOOTER_LEN.size - footer_len)
+            footer = json.loads(handle.read(footer_len))
+        self.block_index: list[tuple[str, int]] = [
+            (key, offset) for key, offset in footer["block_index"]
+        ]
+        self.bloom = BloomFilter.from_dict(footer["bloom"])
+        self.min_key: str | None = footer["min_key"]
+        self.max_key: str | None = footer["max_key"]
+        self.count: int = footer["count"]
+        self.tombstones: int = footer["tombstones"]
+        self.data_end: int = footer["data_end"]
+        self.meta: dict[str, Any] = footer["meta"]
+        self.size_bytes = size
+
+    # -- reads -------------------------------------------------------------
+
+    def _block_offset(self, key: str) -> int | None:
+        """Data offset of the block that could hold *key*."""
+        candidate: int | None = None
+        for first_key, offset in self.block_index:
+            if first_key > key:
+                break
+            candidate = offset
+        return candidate
+
+    def get(self, key: str) -> tuple[bool, Any]:
+        """``(found, value-or-TOMBSTONE)`` for *key* in this segment."""
+        if self.min_key is None or not (self.min_key <= key <= self.max_key):
+            return False, None
+        if not self.bloom.might_contain(key):
+            return False, None
+        offset = self._block_offset(key)
+        if offset is None:
+            return False, None
+        for entry_key, value in self._entries_from(offset):
+            if entry_key == key:
+                return True, value
+            if entry_key > key:
+                break
+        return False, None
+
+    def _entries_from(self, offset: int):
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            position = offset
+            while position < self.data_end:
+                header = handle.read(_ENTRY.size)
+                flag, key_len, value_len = _ENTRY.unpack(header)
+                key = handle.read(key_len).decode("utf-8")
+                if flag == _FLAG_TOMBSTONE:
+                    yield key, TOMBSTONE
+                else:
+                    yield key, json.loads(handle.read(value_len))
+                position += _ENTRY.size + key_len + value_len
+
+    def entries(self):
+        """Every ``(key, value-or-TOMBSTONE)`` in key order."""
+        if self.count:
+            yield from self._entries_from(self.block_index[0][1])
+
+    def __repr__(self) -> str:
+        return (f"SSTableReader({self.path!r}, count={self.count}, "
+                f"tombstones={self.tombstones})")

@@ -9,24 +9,36 @@ experiment (E2) toggles.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.errors import StorageError
 from repro.storage.index import HashIndex, Index, SortedIndex
 from repro.storage.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.durable.db import DurableTableAdapter
 
 #: Change listeners receive (row_id, row_tuple).
 ChangeListener = Callable[[int, tuple[Any, ...]], None]
 
 
 class Table:
-    """An in-memory row store with typed schema and secondary indexes."""
+    """An in-memory row store with typed schema and secondary indexes.
 
-    def __init__(self, name: str, schema: Schema) -> None:
+    With a :class:`~repro.storage.durable.db.DurableTableAdapter`
+    attached, every mutation is logged to the write-ahead log *before*
+    it touches the in-memory state — so what recovery replays is
+    exactly what the listeners saw. Without one (the default), nothing
+    changes: the table is purely in-memory, as before.
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 durable: "DurableTableAdapter | None" = None) -> None:
         if not name:
             raise StorageError("table needs a name")
         self.name = name
         self.schema = schema
+        self.durable = durable
         self._rows: dict[int, tuple[Any, ...]] = {}
         self._next_row_id = 0
         self._indexes: dict[str, Index] = {}
@@ -44,10 +56,18 @@ class Table:
         return len(self._rows)
 
     def insert(self, values: dict[str, Any]) -> int:
-        """Validate and insert one row; returns its row id."""
+        """Validate and insert one row; returns its row id.
+
+        In durable mode the row hits the WAL before any in-memory
+        structure: a crash between the two leaves the committed (WAL)
+        state a superset of memory, never the reverse, and recovery
+        replays the difference.
+        """
         row = self.schema.validate_row(values)
         row_id = self._next_row_id
-        self._next_row_id += 1
+        if self.durable is not None:
+            self.durable.log_insert(row_id, row)
+        self._next_row_id = row_id + 1
         self._rows[row_id] = row
         for index in self._indexes.values():
             index.insert(self._key_for(index, row), row_id)
@@ -59,15 +79,45 @@ class Table:
         return [self.insert(values) for values in rows]
 
     def delete(self, row_id: int) -> None:
-        row = self._rows.pop(row_id, None)
+        row = self._rows.get(row_id)
         if row is None:
             raise StorageError(
                 f"table {self.name!r}: no row {row_id}"
             )
+        if self.durable is not None:
+            self.durable.log_delete(row_id, self._next_row_id)
+        del self._rows[row_id]
         for index in self._indexes.values():
             index.delete(self._key_for(index, row), row_id)
         for listener in self._on_delete:
             listener(row_id, row)
+
+    def restore_row(self, row_id: int, row: tuple[Any, ...]) -> None:
+        """Re-apply one recovered row, bypassing the WAL.
+
+        The recovery path's insert: the row was already committed, so
+        logging it again would double it. Indexes and listeners fire
+        exactly as on a live insert, which is how column stores and
+        materialized aggregates rebuild themselves on reopen.
+        """
+        if row_id in self._rows:
+            raise StorageError(
+                f"table {self.name!r}: row {row_id} already present"
+            )
+        self._rows[row_id] = row
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        for index in self._indexes.values():
+            index.insert(self._key_for(index, row), row_id)
+        for listener in self._on_insert:
+            listener(row_id, row)
+
+    def bump_next_row_id(self, watermark: int) -> None:
+        """Raise the next row id to *watermark* (recovery only).
+
+        Deleting the highest rows and compacting away their tombstones
+        would otherwise let a reopened table re-issue their ids.
+        """
+        self._next_row_id = max(self._next_row_id, watermark)
 
     def get(self, row_id: int) -> tuple[Any, ...]:
         try:

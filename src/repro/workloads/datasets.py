@@ -24,6 +24,7 @@ from repro.sources.base import FaultModel, LatencyModel
 from repro.sources.clock import SimulatedClock
 from repro.sources.protein import ProteinEntry, ProteinStructureSource
 from repro.sources.registry import SourceRegistry
+from repro.storage.durable import StorageConfig
 from repro.workloads.families import ProteinFamily, make_family
 
 #: Method strings sampled for protein entries.
@@ -83,11 +84,13 @@ class Dataset:
 
     def integrate(self, mode: str = "batched",
                   create_indexes: bool = True,
+                  storage: "StorageConfig | None" = None,
                   ) -> tuple[DrugTree, IntegrationReport]:
         """Run the integration pipeline over this dataset's federation."""
         pipeline = IntegrationPipeline(self.registry, mode=mode)
         return pipeline.build_drugtree(self.tree,
-                                       create_indexes=create_indexes)
+                                       create_indexes=create_indexes,
+                                       storage=storage)
 
     def drugtree(self) -> DrugTree:
         """A cached, batched-integration DrugTree for this dataset."""

@@ -330,3 +330,72 @@ class TestBenchCommand:
         assert main(["bench", "e98",
                      "--directory", str(tmp_path)]) == 2
         assert "collect_metrics" in capsys.readouterr().err
+
+
+class TestDurableCommands:
+    WORLD_SMALL = ["--leaves", "8", "--ligands", "10", "--seed", "3"]
+
+    def test_recover_bootstraps_then_reopens(self, tmp_path, capsys):
+        data_dir = str(tmp_path / "db")
+        assert main(["recover", data_dir, *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrapping a durable world" in out
+        assert "-- recovered" in out
+        assert "Restored overlay" in out
+        assert "bindings" in out
+
+        # Second run adopts the existing store: no bootstrap note.
+        assert main(["recover", data_dir, *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrapping" not in out
+        assert "0 torn byte(s)" in out
+
+    def test_recover_json(self, tmp_path, capsys):
+        import json
+
+        data_dir = str(tmp_path / "db")
+        assert main(["recover", data_dir, "--json",
+                     *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["recovery"]["torn_bytes"] == 0
+        assert payload["tables"]["proteins"] == 8
+        assert payload["tables"]["ligands"] == 10
+        assert all(s["keys"] > 0 for s in payload["segments"])
+
+    def test_compact_reports_levels(self, tmp_path, capsys):
+        data_dir = str(tmp_path / "db")
+        assert main(["compact", data_dir, "--flush-bytes", "2048",
+                     *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Before" in out and "After" in out
+        assert "-- major compaction:" in out
+
+    def test_compact_json_round_trips(self, tmp_path, capsys):
+        import json
+
+        data_dir = str(tmp_path / "db")
+        assert main(["compact", data_dir, "--json", "--flush-bytes",
+                     "2048", *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert sum(r["segments"] for r in payload["after"]) == 1
+        assert payload["tombstones_collected"] >= 0
+
+    def test_recover_after_compact_agrees(self, tmp_path, capsys):
+        import json
+
+        data_dir = str(tmp_path / "db")
+        main(["compact", data_dir, "--flush-bytes", "2048",
+              *self.WORLD_SMALL])
+        capsys.readouterr()
+        assert main(["recover", data_dir, "--json",
+                     *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["recovery"]["segments"] == 1
+
+    def test_fsync_choice_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compact", "somewhere", "--fsync", "sometimes"])
