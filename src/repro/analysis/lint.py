@@ -35,6 +35,15 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           bypasses the WAL's crash-safety protocol (CRC framing,
           fsync policy, atomic manifest swap). Durable state goes
           through the durable engine.
+``L008``  No unguarded shared-state writes in morsel worker code
+          paths: inside ``core/query/morsel.py`` /
+          ``core/query/vectorized.py`` / ``core/query/fused.py``, a
+          nested closure is (or may become) a pool worker, so it must
+          stay pure — no attribute or subscript assignment, no
+          ``nonlocal`` rebinding — unless inside a ``with
+          self.<...lock...>:`` block. Counters, gathers, and folds
+          advance on the coordinating thread, which is what keeps
+          results bit-identical across worker counts.
 ========  ==============================================================
 
 Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
@@ -59,6 +68,7 @@ LINT_RULES: dict[str, str] = {
     "L005": "source fault silently swallowed (except ...: pass)",
     "L006": "per-row dispatch inside the vectorized batch path",
     "L007": "direct file mutation outside storage/durable and obs",
+    "L008": "unguarded shared-state write inside a morsel worker",
 }
 
 #: Fully-dotted callables that read the wall clock.
@@ -121,6 +131,21 @@ def _is_batch_path(path: str) -> bool:
     return normalized.endswith(_BATCH_PATH_SUFFIXES)
 
 
+#: Modules whose nested closures may run on morsel pool workers: any
+#: shared-state write there races the coordinator and breaks the
+#: bit-parity guarantee across worker counts (rule L008).
+_MORSEL_PATH_SUFFIXES = (
+    "core/query/morsel.py",
+    "core/query/vectorized.py",
+    "core/query/fused.py",
+)
+
+
+def _is_morsel_path(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return normalized.endswith(_MORSEL_PATH_SUFFIXES)
+
+
 #: ``open()`` mode characters that make the handle writable (rule L007).
 _WRITE_MODE_CHARS = frozenset("wax+")
 
@@ -147,6 +172,7 @@ class _Visitor(ast.NodeVisitor):
         self.timing_module = _is_timing_module(path)
         self.core_path = _is_core_path(path)
         self.batch_path = _is_batch_path(path)
+        self.morsel_path = _is_morsel_path(path)
         self.file_mutation_allowed = _may_mutate_files(path)
         self.findings: list[tuple[str, int, str]] = []
         self.module_aliases: dict[str, str] = {}  # local name → module
@@ -392,14 +418,51 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_Assign(self, node: ast.Assign) -> None:
         self._check_shared_write(node, node.targets)
+        self._check_worker_write(node, node.targets)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_shared_write(node, [node.target])
+        self._check_worker_write(node, [node.target])
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         self._check_shared_write(node, [node.target])
+        self._check_worker_write(node, [node.target])
+        self.generic_visit(node)
+
+    # -- L008: shared-state writes inside morsel workers -------------------
+
+    def _in_morsel_worker(self) -> bool:
+        """Inside a nested closure of a morsel-path module?
+
+        Closures in these modules are handed to ``MorselPool`` workers
+        (or are one refactor away from being), so nested-function scope
+        is the mechanical marker for "may run off the coordinator".
+        """
+        return self.morsel_path and len(self.func_stack) >= 2
+
+    def _check_worker_write(self, node, targets: list[ast.expr]) -> None:
+        if not self._in_morsel_worker() or self.lock_depth > 0:
+            return
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self.findings.append((
+                    "L008", node.lineno,
+                    f"shared-state write inside morsel worker "
+                    f"{self.func_stack[-1]!r}; workers must stay pure — "
+                    "advance counters and accumulators on the "
+                    "coordinating thread",
+                ))
+
+    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+        if self._in_morsel_worker() and self.lock_depth == 0:
+            self.findings.append((
+                "L008", node.lineno,
+                f"nonlocal rebinding of {', '.join(node.names)} inside "
+                f"morsel worker {self.func_stack[-1]!r}; workers must "
+                "stay pure — accumulate on the coordinating thread",
+            ))
         self.generic_visit(node)
 
 

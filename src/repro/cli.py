@@ -7,6 +7,8 @@ Offers the zero-code tour of the system:
 * ``explain`` — EXPLAIN ANALYZE: annotated plan tree with actuals;
 * ``stats``   — run a representative workload, print the metrics
   registry snapshot and a span summary;
+* ``analyze`` — ANALYZE the world's tables and print the optimizer
+  statistics (row counts, NDVs, MCVs, histogram edges);
 * ``clades``  — per-clade materialized statistics of the tree;
 * ``tree``    — draw the annotated tree as ASCII art;
 * ``mobile``  — replay a gesture session on a chosen network profile;
@@ -192,6 +194,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             (KIND_ANNOTATION, visible),
             (KIND_PROTEIN, visible),
         ])
+        # Publish the statistics-staleness gauge alongside the rest.
+        drugtree.stale_tables()
 
         snapshot = metrics.snapshot()
         if args.json:
@@ -228,6 +232,94 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                           agg["wall_s"] * 1000, agg["virtual_s"])
         print(spans.render())
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    with _fresh_observability() as metrics:
+        dataset = _build_world(args)
+        drugtree = dataset.drugtree()
+        statistics = drugtree.statistics
+        if args.table is not None:
+            if args.table not in statistics:
+                print(f"error: no such table {args.table!r}; "
+                      f"known: {', '.join(sorted(statistics))}",
+                      file=sys.stderr)
+                return 2
+            selected = {args.table: statistics[args.table]}
+        else:
+            selected = dict(sorted(statistics.items()))
+        stale = drugtree.stale_tables()
+
+        if args.json:
+            payload = {
+                "stats_epoch": drugtree.stats_epoch,
+                "stale_tables": sorted(stale),
+                "stale_gauge": metrics.gauge("stats.stale_tables").value,
+                "tables": {
+                    name: {
+                        "row_count": stats.row_count,
+                        "columns": {
+                            column.name: {
+                                "row_count": column.row_count,
+                                "null_count": column.null_count,
+                                "distinct_count": column.distinct_count,
+                                "min": column.min_value,
+                                "max": column.max_value,
+                                "most_common": [
+                                    [value, count] for value, count
+                                    in column.most_common
+                                ],
+                                "histogram_bounds": (
+                                    list(column.histogram.bounds)
+                                    if column.histogram is not None
+                                    else None
+                                ),
+                            }
+                            for column in stats.columns.values()
+                        },
+                    }
+                    for name, stats in selected.items()
+                },
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+
+        for name, stats in selected.items():
+            table = TextTable(
+                ["column", "rows", "nulls", "NDV", "min", "max",
+                 "top MCVs", "histogram"],
+                title=f"{name} ({stats.row_count} rows)",
+            )
+            for column in stats.columns.values():
+                mcvs = ", ".join(
+                    f"{value!r}x{count}"
+                    for value, count in column.most_common[:3]
+                )
+                if column.histogram is not None:
+                    bounds = column.histogram.bounds
+                    edges = (f"{len(bounds)} buckets "
+                             f"[{bounds[0]:g} .. {bounds[-1]:g}]"
+                             if bounds else "empty")
+                else:
+                    edges = "-"
+                table.add_row(column.name, column.row_count,
+                              column.null_count, column.distinct_count,
+                              _brief(column.min_value),
+                              _brief(column.max_value),
+                              mcvs or "-", edges)
+            print(table.render())
+            print()
+        print(f"-- epoch {drugtree.stats_epoch}; "
+              f"{len(stale)} stale table(s)"
+              + (f": {', '.join(sorted(stale))}" if stale else ""))
+    return 0
+
+
+def _brief(value, width: int = 12) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    text = str(value)
+    return text if len(text) <= width else text[:width - 1] + "…"
 
 
 def _cmd_clades(args: argparse.Namespace) -> int:
@@ -728,6 +820,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the metrics snapshot as JSON")
     stats.set_defaults(handler=_cmd_stats)
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="ANALYZE the tables, print optimizer statistics")
+    _add_world_options(analyze)
+    analyze.add_argument("--table", default=None,
+                         help="restrict to one table (default: all)")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the statistics as JSON")
+    analyze.set_defaults(handler=_cmd_analyze)
+
     clades = commands.add_parser("clades",
                                  help="materialized clade statistics")
     _add_world_options(clades)
@@ -791,7 +893,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(handler=_cmd_chaos)
 
     lint = commands.add_parser(
-        "lint", help="repository invariant lint rules (L001-L007)")
+        "lint", help="repository invariant lint rules (L001-L008)")
     lint.add_argument("paths", nargs="*", default=["src"],
                       help="files or directories (default: src)")
     lint.add_argument("--json", action="store_true",

@@ -35,10 +35,17 @@ from repro.core.overlay import (
     make_overlay_tables,
 )
 from repro.errors import QueryError
-from repro.obs import get_tracer
+from repro.obs import get_metrics, get_tracer
 from repro.storage.durable import Database, StorageConfig
 from repro.storage.statistics import TableStatistics, analyze
 from repro.storage.table import Table
+
+#: A table is re-ANALYZEd once it has seen more than
+#: ``max(STALE_MIN_MUTATIONS, STALE_FRACTION * analyzed_rows)``
+#: mutations since its last ANALYZE. Below that, slightly stale
+#: statistics only perturb cost estimates — never correctness.
+STALE_MIN_MUTATIONS = 16
+STALE_FRACTION = 0.1
 
 
 class DrugTree:
@@ -78,9 +85,16 @@ class DrugTree:
         self._mutation_listeners: list[Any] = []
         self._known_proteins: set[str] = set()
         self._known_ligands: set[str] = set()
-        for table in self.tables.values():
-            table.add_insert_listener(self._on_mutation)
-            table.add_delete_listener(self._on_mutation)
+        #: Bumped whenever any table's statistics are (re)collected;
+        #: the compiled-plan cache keys on it for invalidation.
+        self.stats_epoch = 0
+        self._mutations_since_analyze: dict[str, int] = {
+            name: 0 for name in self.tables
+        }
+        for name, table in self.tables.items():
+            listener = self._make_mutation_listener(name)
+            table.add_insert_listener(listener)
+            table.add_delete_listener(listener)
         if self.database is not None:
             self._restore_from_database()
 
@@ -235,23 +249,66 @@ class DrugTree:
         self._statistics = {
             name: analyze(table) for name, table in self.tables.items()
         }
+        for name in self.tables:
+            self._mutations_since_analyze[name] = 0
+        self.stats_epoch += 1
         return self._statistics
+
+    def _analyze_table(self, name: str) -> TableStatistics:
+        """Re-ANALYZE one table and reset its staleness counter."""
+        stats = analyze(self.tables[name])
+        if self._statistics is None:
+            self._statistics = {}
+        self._statistics[name] = stats
+        self._mutations_since_analyze[name] = 0
+        self.stats_epoch += 1
+        return stats
+
+    def _stale_table_names(self) -> list[str]:
+        """Tables whose mutation count since ANALYZE crossed threshold."""
+        if self._statistics is None:
+            return sorted(self.tables)
+        stale = []
+        for name in self.tables:
+            count = self._mutations_since_analyze.get(name, 0)
+            if not count:
+                continue
+            analyzed = self._statistics.get(name)
+            if analyzed is None:
+                stale.append(name)
+                continue
+            threshold = max(STALE_MIN_MUTATIONS,
+                            int(STALE_FRACTION * analyzed.row_count))
+            if count > threshold:
+                stale.append(name)
+        return stale
+
+    def stale_tables(self) -> list[str]:
+        """Names of tables with stale statistics; updates the gauge."""
+        stale = self._stale_table_names()
+        get_metrics().gauge("stats.stale_tables").set(len(stale))
+        return stale
 
     @property
     def statistics(self) -> dict[str, TableStatistics]:
         if self._statistics is None:
-            self.refresh_statistics()
-        assert self._statistics is not None
+            return self.refresh_statistics()
+        for name in self._stale_table_names():
+            self._analyze_table(name)
         return self._statistics
-
-    def _on_mutation(self, row_id: int, row: tuple) -> None:
-        self._statistics = None  # stale after any change
-        for listener in self._mutation_listeners:
-            listener()
 
     def add_mutation_listener(self, listener) -> None:
         """Called on any overlay change (the semantic cache hooks this)."""
         self._mutation_listeners.append(listener)
+
+    def _make_mutation_listener(self, name: str):
+        def on_mutation(row_id: int, row: tuple) -> None:
+            self._mutations_since_analyze[name] = (
+                self._mutations_since_analyze.get(name, 0) + 1
+            )
+            for listener in self._mutation_listeners:
+                listener()
+        return on_mutation
 
     # -- convenience reads ---------------------------------------------------------
 

@@ -12,9 +12,12 @@ from repro.core.query.ast import (
     SubstructureFilter,
     SubtreeFilter,
 )
+from repro.core.query.adaptive import EngineChoice, choose_engine
 from repro.core.query.cache import CacheHit, SemanticCache
 from repro.core.query.cards import CardinalityEstimator
 from repro.core.query.executor import EngineConfig, QueryEngine, QueryResult
+from repro.core.query.fused import CompiledPlanCache
+from repro.core.query.morsel import MorselPool
 from repro.core.query.parser import parse_query
 from repro.core.query.planner import Planner, PlannerConfig, PlanReport
 from repro.core.query.predicates import (
@@ -31,10 +34,13 @@ __all__ = [
     "AggregateSpec",
     "Batch",
     "CacheHit",
+    "CompiledPlanCache",
     "CardinalityEstimator",
     "Comparison",
+    "EngineChoice",
     "EngineConfig",
     "HavingCondition",
+    "MorselPool",
     "NormalizedQuery",
     "OrderBy",
     "PlanReport",
@@ -48,6 +54,7 @@ __all__ = [
     "SubstructureFilter",
     "SubtreeFilter",
     "VectorizedLowering",
+    "choose_engine",
     "compile_columns",
     "compile_comparison",
     "compile_residual",

@@ -34,6 +34,7 @@ from typing import Any
 
 from repro.core.labeling import IntervalLabeling
 from repro.core.query.ast import Query
+from repro.core.query.predicates import compile_residual
 from repro.errors import QueryError
 from repro.obs import get_metrics, get_tracer
 
@@ -160,12 +161,16 @@ class SemanticCache:
 
     def _derive(self, rows: list[dict[str, Any]],
                 query: Query) -> list[dict[str, Any]] | None:
-        """Recompute *query* over cached full-width rows."""
-        out = [
-            row for row in rows
-            if all(pred.matches(row.get(pred.column))
-                   for pred in query.predicates)
-        ]
+        """Recompute *query* over cached full-width rows.
+
+        Predicates compile once per derivation (same closures the
+        engines share, see ``predicates.py``) — cached entries can
+        hold tens of thousands of full-width rows, and per-row
+        ``matches`` dispatch over them used to cost more than simply
+        re-executing the query on the adaptive engine.
+        """
+        residual = compile_residual(query.predicates)
+        out = [row for row in rows if residual(row)]
         if query.subtree is not None:
             if not self.labeling.has_name(query.subtree.node_name):
                 return None

@@ -7,6 +7,8 @@ assumption, and equi-join cardinality via ``|L| * |R| / max(ndv)``.
 
 from __future__ import annotations
 
+from typing import Mapping, Optional
+
 from repro.core.query.ast import Comparison
 from repro.storage.statistics import TableStatistics
 
@@ -14,17 +16,48 @@ from repro.storage.statistics import TableStatistics
 DEFAULT_SELECTIVITY = 0.33
 #: Floor preventing zero estimates from wiping out join products.
 MIN_ROWS = 0.5
+#: Last-resort guess when neither statistics nor a live table exist.
+FALLBACK_ROWS = 1000.0
 
 
 class CardinalityEstimator:
-    """Estimates row counts for scans and joins of the overlay tables."""
+    """Estimates row counts for scans and joins of the overlay tables.
 
-    def __init__(self, statistics: dict[str, TableStatistics]) -> None:
+    When a table has no collected statistics the estimator falls back
+    to the live ``Table`` row count (if *tables* was provided) rather
+    than a fixed guess, bumps the ``stats.missing`` counter, and
+    records the table in :attr:`blind_tables` so EXPLAIN can flag the
+    estimate as made blind.
+    """
+
+    def __init__(self, statistics: dict[str, TableStatistics],
+                 tables: Optional[Mapping[str, object]] = None,
+                 metrics=None) -> None:
         self._stats = statistics
+        self._tables = tables or {}
+        self._metrics = metrics
+        #: Tables priced without statistics during this estimator's life.
+        self.blind_tables: set[str] = set()
+
+    def _record_blind(self, table: str) -> None:
+        if table in self.blind_tables:
+            return  # planning re-prices the same scan many times
+        self.blind_tables.add(table)
+        metrics = self._metrics
+        if metrics is None:
+            from repro.obs import get_metrics
+            metrics = get_metrics()
+        metrics.counter("stats.missing").inc()
 
     def table_rows(self, table: str) -> float:
         stats = self._stats.get(table)
-        return float(stats.row_count) if stats else 1000.0
+        if stats is not None:
+            return float(stats.row_count)
+        self._record_blind(table)
+        live = self._tables.get(table)
+        if live is not None:
+            return float(max(live.row_count, 1))
+        return FALLBACK_ROWS
 
     def predicate_selectivity(self, table: str,
                               predicate: Comparison) -> float:

@@ -96,21 +96,29 @@ class EngineConfig:
     #: Rows buffered per scatter/gather batch when a query projects
     #: remote detail columns (see REMOTE_DETAIL_COLUMNS).
     remote_lookahead: int = 64
-    #: ``"row"`` (volcano iterators, the default) or ``"vectorized"``
-    #: (batch-at-a-time over columnar projections). Results are
-    #: identical either way; see docs/VECTORIZED.md.
-    execution_mode: str = "row"
-    #: Rows per batch in vectorized mode.
+    #: ``"adaptive"`` (the default: statistics pick row or vectorized
+    #: per plan — see docs/EXECUTION.md), ``"row"`` (volcano
+    #: iterators), or ``"vectorized"`` (batch-at-a-time over columnar
+    #: projections). Results are identical in every mode; see
+    #: docs/VECTORIZED.md for the parity contract.
+    execution_mode: str = "adaptive"
+    #: Rows per batch in vectorized mode. Adaptive mode treats this as
+    #: an upper default and sizes batches to the plan's widest scan.
     vector_batch_size: int = 1024
+    #: Worker threads for morsel-parallel scans under adaptive
+    #: execution; 0 means auto (one per CPU core).
+    morsel_workers: int = 0
 
     def __post_init__(self) -> None:
-        if self.execution_mode not in ("row", "vectorized"):
+        if self.execution_mode not in ("adaptive", "row", "vectorized"):
             raise QueryError(
                 f"unknown execution mode {self.execution_mode!r} "
-                "(known: 'row', 'vectorized')"
+                "(known: 'adaptive', 'row', 'vectorized')"
             )
         if self.vector_batch_size < 1:
             raise QueryError("vector_batch_size must be positive")
+        if self.morsel_workers < 0:
+            raise QueryError("morsel_workers must be >= 0 (0 = auto)")
 
     def planner_config(self) -> PlannerConfig:
         return PlannerConfig(
@@ -172,7 +180,9 @@ class QueryEngine:
         self.planner = Planner(
             tables=drugtree.tables,
             labeling=drugtree.labeling,
-            estimator=CardinalityEstimator(drugtree.statistics),
+            estimator=CardinalityEstimator(drugtree.statistics,
+                                           tables=drugtree.tables,
+                                           metrics=metrics),
             config=self.config.planner_config(),
         )
         self.cache = SemanticCache(drugtree.labeling,
@@ -187,6 +197,17 @@ class QueryEngine:
         # lowering (set around plan/run, cleared in a finally).
         self._fetch_deadline: Deadline | None = None
         self._fetch_statuses: dict[str, str] | None = None
+        # Adaptive execution: fused kernels cached per plan shape, and
+        # the last per-query engine choice (for the analyze trailer).
+        from repro.core.query.fused import CompiledPlanCache
+        self.plan_cache = CompiledPlanCache()
+        self._last_choice = None
+        # Engine choices memoized per plan shape: a point lookup must
+        # not pay a full cost walk on every execute. Dropped wholesale
+        # when the statistics epoch advances.
+        self._choice_cache: dict = {}
+        self._choice_epoch = None
+        self._adaptive_helpers = None  # lazily bound (choice_key, choose_engine)
 
     def _obs_tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
@@ -320,7 +341,9 @@ class QueryEngine:
                 # Refresh the estimator if statistics went stale
                 # (bulk loads).
                 self.planner.estimator = CardinalityEstimator(
-                    self.drugtree.statistics
+                    self.drugtree.statistics,
+                    tables=self.drugtree.tables,
+                    metrics=metrics,
                 )
                 with tracer.span("query.plan"):
                     plan = self.planner.plan(query,
@@ -471,7 +494,9 @@ class QueryEngine:
         statuses: dict[str, str] = {}
         ligand_keys, _, __ = self._resolve_ligand_filters(query)
         self.planner.estimator = CardinalityEstimator(
-            self.drugtree.statistics
+            self.drugtree.statistics,
+            tables=self.drugtree.tables,
+            metrics=metrics,
         )
         plan = self.planner.plan(query, similar_keys=ligand_keys)
         counters = ExecCounters()
@@ -526,12 +551,27 @@ class QueryEngine:
                 resilience["breakers"] = snap
 
         execution: dict[str, Any] = {"mode": self.config.execution_mode}
+        choice = self._last_choice
+        if choice is not None:
+            # Adaptive mode: report the resolved engine, both cost
+            # estimates, why, and the fusion/morsel actuals. Explicit
+            # row/vectorized modes keep their exact historical dict.
+            execution["mode"] = choice.mode
+            execution["requested"] = "adaptive"
+            execution["row_cost"] = round(choice.row_cost, 1)
+            execution["vec_cost"] = round(choice.vec_cost, 1)
+            execution["reason"] = choice.reason
+            execution["fused"] = counters.fused_pipelines
+            execution["workers"] = choice.workers
+            execution["morsels"] = counters.morsels
         if counters.batches_emitted:
             execution["batches"] = counters.batches_emitted
             execution["rows_per_batch"] = round(
                 counters.batch_rows / counters.batches_emitted, 2
             )
-            execution["batch_size"] = self.config.vector_batch_size
+            execution["batch_size"] = (choice.batch_size
+                                       if choice is not None
+                                       else self.config.vector_batch_size)
 
         storage: dict[str, Any] = {}
         if getattr(self.drugtree, "database", None) is not None:
@@ -659,11 +699,52 @@ class QueryEngine:
         identical results; vectorized lowering additionally fills the
         counters' batch fields. Imported lazily so the default row
         path's import graph is unchanged.
+
+        ``adaptive`` (the default) prices the plan in both row and
+        vectorized terms against the current statistics and dispatches
+        to the winner — with pipeline fusion, an adaptive batch size,
+        and the morsel worker pool enabled on the vectorized side.
+        The choice lands in ``self._last_choice`` for the analyze
+        trailer.
         """
-        if self.config.execution_mode == "vectorized":
+        mode = self.config.execution_mode
+        choice = None
+        if mode == "adaptive":
+            # Bound once: the per-call import statement costs ~1us,
+            # visible on sub-millisecond index probes.
+            helpers = self._adaptive_helpers
+            if helpers is None:
+                from repro.core.query import adaptive as _adaptive
+                helpers = self._adaptive_helpers = (
+                    _adaptive.choice_key, _adaptive.choose_engine)
+            choice_key, choose_engine = helpers
+            epoch = getattr(self.drugtree, "stats_epoch", None)
+            if epoch != self._choice_epoch:
+                self._choice_cache.clear()
+                self._choice_epoch = epoch
+            key = choice_key(node)
+            choice = self._choice_cache.get(key)
+            if choice is None:
+                choice = choose_engine(node, self.planner.estimator,
+                                       self.config)
+                if len(self._choice_cache) >= 256:
+                    self._choice_cache.pop(
+                        next(iter(self._choice_cache)))
+                self._choice_cache[key] = choice
+            mode = choice.mode
+        self._last_choice = choice
+        if mode == "vectorized":
             from repro.core.query.vectorized import VectorizedLowering
-            lowering = VectorizedLowering(self, counters, probe=probe,
-                                          clock=clock)
+            if choice is not None:
+                lowering = VectorizedLowering(
+                    self, counters, probe=probe, clock=clock,
+                    batch_size=choice.batch_size,
+                    fuse=True, plan_cache=self.plan_cache,
+                    workers=choice.workers,
+                )
+            else:
+                lowering = VectorizedLowering(self, counters,
+                                              probe=probe, clock=clock)
             return lowering.lower_plan(node)
         return self._to_physical(node, counters, probe=probe,
                                  clock=clock)

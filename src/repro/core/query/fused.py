@@ -1,0 +1,327 @@
+"""Fused compiled pipelines for the dominant scan shapes.
+
+The vectorized engine's scan->filter->project and
+scan->filter->aggregate plans each spend a pipeline stage materializing
+an intermediate :class:`~repro.core.query.vectorized.Batch` that the
+next operator immediately consumes. Under adaptive execution these two
+shapes are *fused*: the compiled predicate closures from
+:mod:`repro.core.query.predicates` run straight over the
+:class:`~repro.storage.columnar.ColumnStore` buffers, and the selected
+positions feed projection gathers or aggregation folds directly — one
+operator, one pass, no intermediate batch.
+
+Fused kernels are cached in a :class:`CompiledPlanCache` keyed by
+normalized plan shape (table, residual triples, output shape). A kernel
+captures column *names* and compiled closures — never buffer
+references — so cached kernels survive compaction and mutations; the
+cache is invalidated wholesale when the owning DrugTree's
+``stats_epoch`` advances (ANALYZE refresh or schema change), with
+hit/miss counters in the ``MetricsRegistry``
+(``fused.cache_hits`` / ``fused.cache_misses``).
+
+Counter parity with the unfused pipelines is exact: the scan half
+counts ``rows_scanned`` per chunk and ``rows_emitted`` per selected
+row, and the aggregate half counts one ``rows_emitted`` per output row,
+matching ``SeqScanOp`` + ``HashAggregateOp`` on the row engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.query.ast import REMOTE_DETAIL_COLUMNS
+from repro.core.query.logical import (
+    LogicalAggregate,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+)
+from repro.core.query.physical import ExecCounters, _AggState
+from repro.core.query.predicates import compile_columns
+from repro.core.query.vectorized import (
+    Batch,
+    VectorOp,
+    _filter_positions,
+    batch_from_rows,
+)
+from repro.obs import get_metrics
+
+
+class FusedKernel:
+    """The compiled, data-independent half of a fused pipeline."""
+
+    __slots__ = ("kind", "residual", "compiled", "columns",
+                 "aggregates", "group_by")
+
+    def __init__(self, kind: str, residual, columns=None,
+                 aggregates=None, group_by=None) -> None:
+        self.kind = kind  # "project" | "aggregate"
+        self.residual = residual
+        self.compiled = compile_columns(residual)
+        self.columns = columns
+        self.aggregates = aggregates
+        self.group_by = group_by
+
+
+class CompiledPlanCache:
+    """Fused kernels keyed by normalized plan shape.
+
+    One statistics epoch per generation: when the epoch advances the
+    whole cache is dropped (statistics or schema changed under it).
+    Unhashable shapes simply bypass the cache.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._entries: dict[Any, FusedKernel] = {}
+        self._epoch: Any = None
+
+    def lookup(self, key: Any, epoch: Any) -> FusedKernel | None:
+        if epoch != self._epoch:
+            self._entries.clear()
+            self._epoch = epoch
+        kernel = self._entries.get(key)
+        if kernel is not None:
+            get_metrics().counter("fused.cache_hits").inc()
+        else:
+            get_metrics().counter("fused.cache_misses").inc()
+        return kernel
+
+    def store(self, key: Any, epoch: Any, kernel: FusedKernel) -> None:
+        if epoch != self._epoch:
+            self._entries.clear()
+            self._epoch = epoch
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = kernel
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _shape_key(node: LogicalNode, scan: LogicalScan) -> Any:
+    residual = tuple((c.column, c.op, c.value) for c in scan.residual)
+    if isinstance(node, LogicalProject):
+        key = ("project", scan.table, residual, node.columns)
+    else:
+        assert isinstance(node, LogicalAggregate)
+        aggs = tuple((a.func, a.column, a.output_name)
+                     for a in node.aggregates)
+        key = ("aggregate", scan.table, residual, aggs, node.group_by)
+    try:
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+class _FusedScanBase(VectorOp):
+    """Shared one-pass scan half of the fused operators."""
+
+    def __init__(self, counters: ExecCounters, store,
+                 kernel: FusedKernel, batch_size: int,
+                 pool=None, scan_stats=None) -> None:
+        super().__init__(counters)
+        self.store = store
+        self.kernel = kernel
+        self.batch_size = batch_size
+        self.pool = pool
+        #: EXPLAIN ANALYZE stats node for the fused-away scan: fusion
+        #: removes the scan operator, not its accounting.
+        self.scan_stats = scan_stats
+
+    def _positions(self):
+        durable = self.store.table.durable
+        if durable is not None and self.kernel.residual:
+            positions = durable.scan_positions(
+                self.store, self.kernel.residual, self.counters,
+            )
+            if positions is not None:
+                return positions
+        return self.store.live_positions()
+
+    def _selected_chunks(self) -> Iterator[list[int]]:
+        """Yield the surviving positions of each morsel, in scan order.
+
+        Counters advance on the coordinating thread as results are
+        consumed; pool workers only evaluate the pure compiled filter.
+        """
+        positions = self._positions()
+        size = self.batch_size
+        chunks = [positions[start:start + size]
+                  for start in range(0, len(positions), size)]
+        store = self.store
+        compiled = self.kernel.compiled
+        pool = self.pool
+        scan_stats = self.scan_stats
+        if scan_stats is not None:
+            scan_stats.loops += 1
+        if pool is not None and pool.workers > 1 and len(chunks) > 1:
+            def work(chunk):
+                return _filter_positions(chunk, store, compiled)
+            results = pool.imap_ordered(work, chunks)
+            for chunk, selected in zip(chunks, results):
+                self.counters.rows_scanned += len(chunk)
+                self.counters.morsels += 1
+                if scan_stats is not None:
+                    scan_stats.rows_out += len(selected)
+                yield list(selected)
+            return
+        for chunk in chunks:
+            self.counters.rows_scanned += len(chunk)
+            selected = list(_filter_positions(chunk, store, compiled))
+            if scan_stats is not None:
+                scan_stats.rows_out += len(selected)
+            yield selected
+
+
+class FusedScanProjectOp(_FusedScanBase):
+    """scan->filter->project in one pass over ColumnStore buffers."""
+
+    def batches(self) -> Iterator[Batch]:
+        out_columns = self.kernel.columns
+        unique = tuple(dict.fromkeys(out_columns))
+        store = self.store
+        for selected in self._selected_chunks():
+            if not selected:
+                continue
+            self.counters.rows_emitted += len(selected)
+            columns = {name: store.gather(name, selected)
+                       for name in unique}
+            yield self._emit(Batch(out_columns, columns, len(selected)))
+
+
+class FusedScanAggregateOp(_FusedScanBase):
+    """scan->filter->aggregate in one pass over ColumnStore buffers.
+
+    Folds accumulate per selected chunk in scan order, so float
+    results are bit-identical to the row engine's one-row-at-a-time
+    folds regardless of batch size or worker count.
+    """
+
+    def batches(self) -> Iterator[Batch]:
+        kernel = self.kernel
+        aggregates = kernel.aggregates
+        group_by = kernel.group_by
+        store = self.store
+        groups: dict[Any, dict[str, _AggState]] = {}
+        saw_rows = False
+        for selected in self._selected_chunks():
+            if not selected:
+                continue
+            self.counters.rows_emitted += len(selected)
+            saw_rows = True
+            # One gather per distinct column per chunk, shared by every
+            # aggregate that folds it (mean(x) + max(x) read one buffer).
+            gathered: dict[str, list] = {}
+            for agg in aggregates:
+                if agg.column != "*" and agg.column not in gathered:
+                    gathered[agg.column] = store.gather(agg.column,
+                                                        selected)
+            if group_by is None:
+                states = groups.setdefault(None, {
+                    agg.output_name: _AggState() for agg in aggregates
+                })
+                for agg in aggregates:
+                    state = states[agg.output_name]
+                    if agg.column == "*":
+                        state.count += len(selected)
+                    else:
+                        state.fold_many(gathered[agg.column])
+            else:
+                keys = store.gather(group_by, selected)
+                folds = [
+                    (agg.output_name,
+                     None if agg.column == "*"
+                     else gathered[agg.column])
+                    for agg in aggregates
+                ]
+                for i, key in enumerate(keys):
+                    states = groups.get(key)
+                    if states is None:
+                        states = groups[key] = {
+                            agg.output_name: _AggState()
+                            for agg in aggregates
+                        }
+                    for name, values in folds:
+                        state = states[name]
+                        if values is None:
+                            state.count += 1
+                        else:
+                            state.fold(values[i])
+        if not saw_rows and group_by is None:
+            groups[None] = {
+                agg.output_name: _AggState() for agg in aggregates
+            }
+        out_rows = []
+        for key in sorted(groups, key=repr):
+            states = groups[key]
+            out: dict[str, Any] = {}
+            if group_by is not None:
+                out[group_by] = key
+            for agg in aggregates:
+                out[agg.output_name] = states[agg.output_name].result(
+                    agg.func
+                )
+            self.counters.rows_emitted += 1
+            out_rows.append(out)
+        if out_rows:
+            yield self._emit(batch_from_rows(out_rows))
+
+
+def try_fuse(lowering, node: LogicalNode,
+             stats=None) -> VectorOp | None:
+    """Build a fused operator for *node* if its shape allows, else None.
+
+    Called from ``VectorizedLowering._lower`` under adaptive execution
+    only; explicit ``execution_mode="vectorized"`` keeps the unfused
+    operator pipeline byte-for-byte.
+    """
+    scan = getattr(node, "child", None)
+    if not isinstance(scan, LogicalScan) or scan.access != "seq":
+        return None
+    table = lowering.engine.drugtree.tables.get(scan.table)
+    if table is None:
+        return None
+    store = table.column_store()
+    names = set(store.column_names)
+    if isinstance(node, LogicalProject):
+        if any(c in REMOTE_DETAIL_COLUMNS for c in node.columns):
+            return None
+        if not all(c in names for c in node.columns):
+            return None
+        kind = "project"
+    elif isinstance(node, LogicalAggregate):
+        if node.group_by is not None and node.group_by not in names:
+            return None
+        if not all(agg.column == "*" or agg.column in names
+                   for agg in node.aggregates):
+            return None
+        kind = "aggregate"
+    else:
+        return None
+
+    kernel = None
+    key = _shape_key(node, scan)
+    cache = lowering.plan_cache
+    epoch = getattr(lowering.engine.drugtree, "stats_epoch", None)
+    if cache is not None and key is not None:
+        kernel = cache.lookup(key, epoch)
+    if kernel is None:
+        if kind == "project":
+            kernel = FusedKernel(kind, scan.residual,
+                                 columns=node.columns)
+        else:
+            kernel = FusedKernel(kind, scan.residual,
+                                 aggregates=node.aggregates,
+                                 group_by=node.group_by)
+        if cache is not None and key is not None:
+            cache.store(key, epoch, kernel)
+    lowering.counters.fused_pipelines += 1
+    scan_stats = None
+    if stats is not None:
+        # Keep the fused-away scan visible in operator actuals.
+        scan_stats = stats.child(scan.describe(), scan.estimated_rows)
+    cls = FusedScanProjectOp if kind == "project" else FusedScanAggregateOp
+    return cls(lowering.counters, store, kernel, lowering.batch_size,
+               pool=lowering.pool, scan_stats=scan_stats)

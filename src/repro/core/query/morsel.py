@@ -1,0 +1,68 @@
+"""Morsel-driven parallelism for ColumnStore scans.
+
+A *morsel* is one fixed-size slice of a scan's position list. The
+:class:`MorselPool` maps a pure worker function over morsels on a
+thread pool and yields the results back **in submission order** — the
+order-restoring merge that keeps parallel scans bit-identical to the
+sequential path regardless of worker count.
+
+Two invariants keep parity exact:
+
+* **Workers are pure.** A worker receives one morsel and returns a
+  value derived only from it (typically the selection vector from a
+  compiled predicate). It never writes shared state — counters,
+  gathers, and aggregation folds all happen on the coordinating thread
+  as each morsel's result is consumed, in morsel order, so float folds
+  accumulate in exactly the sequential order. Lint rule L008 enforces
+  the no-shared-writes discipline for this module.
+* **Dispatch is windowed and lazy.** At most ``workers * 2`` morsels
+  are in flight; further morsels are submitted only as the consumer
+  drains results. A downstream LIMIT that abandons the scan therefore
+  over-scans by at most the window, keeping the documented bare-LIMIT
+  batch-granularity bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class MorselPool:
+    """Order-preserving parallel map over scan morsels.
+
+    With ``workers <= 1`` the map runs inline with zero threading
+    overhead — the default on single-core hosts.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+
+    def imap_ordered(self, func: Callable[[T], R],
+                     items: Iterable[T]) -> Iterator[R]:
+        """Yield ``func(item)`` for each item, in input order."""
+        if self.workers == 1:
+            for item in items:
+                yield func(item)
+            return
+        window = self.workers * 2
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            pending: deque = deque()
+            for item in items:
+                pending.append(pool.submit(func, item))
+                if len(pending) >= window:
+                    yield pending.popleft().result()
+            while pending:
+                yield pending.popleft().result()
+
+
+def resolve_workers(configured: int) -> int:
+    """Resolve the worker count: 0 means auto (one per CPU core)."""
+    if configured > 0:
+        return int(configured)
+    import os
+    return max(os.cpu_count() or 1, 1)

@@ -178,6 +178,21 @@ class AnalyzeReport:
         lines.append(f"-- cache: {self.cache_outcome}")
         if self.execution:
             parts = [f"mode={self.execution.get('mode', 'row')}"]
+            if self.execution.get("requested") == "adaptive":
+                parts[0] += " (adaptive)"
+                parts.append(
+                    f"cost row={self.execution.get('row_cost', 0):g} "
+                    f"vec={self.execution.get('vec_cost', 0):g}"
+                )
+                parts.append(
+                    f"fused={self.execution.get('fused', 0)}"
+                )
+                parts.append(
+                    f"workers={self.execution.get('workers', 1)}"
+                )
+                parts.append(
+                    f"morsels={self.execution.get('morsels', 0)}"
+                )
             if "batches" in self.execution:
                 parts.append(f"batches={self.execution['batches']}")
                 parts.append(
@@ -187,6 +202,12 @@ class AnalyzeReport:
                     f"batch_size={self.execution['batch_size']}"
                 )
             lines.append("-- execution: " + ", ".join(parts))
+            reason = self.execution.get("reason")
+            if reason:
+                lines.append(
+                    f"-- execution: chose "
+                    f"{self.execution.get('mode', 'row')}: {reason}"
+                )
         if self.storage:
             lines.append(
                 "-- storage: durable, segments read="

@@ -1,4 +1,4 @@
-"""Tests for the repository invariant linter (L001-L007)."""
+"""Tests for the repository invariant linter (L001-L008)."""
 
 import textwrap
 
@@ -357,6 +357,84 @@ class TestL007FileMutation:
                     assert not suppression.search(handle.read()), path
 
 
+class TestL008MorselWorkerPurity:
+    MORSEL_PATH = "src/repro/core/query/morsel.py"
+
+    def test_attribute_write_in_worker_flagged(self):
+        found = run("""\
+            class Op:
+                def scan(self, chunks):
+                    def work(chunk):
+                        self.counters.rows_scanned += len(chunk)
+                        return chunk
+                    return [work(c) for c in chunks]
+        """, path=self.MORSEL_PATH)
+        assert codes(found) == ["L008"]
+        assert "coordinating thread" in found[0].message
+
+    def test_subscript_write_in_worker_flagged(self):
+        found = run("""\
+            def scan(chunks, out):
+                def work(index, chunk):
+                    out[index] = len(chunk)
+                return [work(i, c) for i, c in enumerate(chunks)]
+        """, path="src/repro/core/query/fused.py")
+        assert codes(found) == ["L008"]
+
+    def test_nonlocal_rebinding_in_worker_flagged(self):
+        found = run("""\
+            def scan(chunks):
+                total = 0
+                def work(chunk):
+                    nonlocal total
+                    total += len(chunk)
+                for chunk in chunks:
+                    work(chunk)
+                return total
+        """, path="src/repro/core/query/vectorized.py")
+        assert codes(found) == ["L008"]
+        assert "nonlocal" in found[0].message
+
+    def test_pure_worker_passes(self):
+        assert run("""\
+            class Op:
+                def scan(self, chunks, pool):
+                    def work(chunk):
+                        return [c for c in chunk if c > 0]
+                    for chunk, kept in zip(chunks,
+                                           pool.imap_ordered(work, chunks)):
+                        self.counters.rows_scanned += len(chunk)
+                        yield kept
+        """, path=self.MORSEL_PATH) == []
+
+    def test_coordinator_writes_pass(self):
+        # Method-level (non-nested) writes are the coordinator's job.
+        assert run("""\
+            class Op:
+                def scan(self, chunks):
+                    self.counters.morsels += len(chunks)
+        """, path=self.MORSEL_PATH) == []
+
+    def test_lock_guard_exempts_worker_write(self):
+        assert run("""\
+            class Op:
+                def scan(self, chunks):
+                    def work(chunk):
+                        with self.lock:
+                            self.partials[id(chunk)] = len(chunk)
+                    return [work(c) for c in chunks]
+        """, path=self.MORSEL_PATH) == []
+
+    def test_other_modules_are_exempt(self):
+        assert run("""\
+            class Op:
+                def scan(self, chunks):
+                    def work(chunk):
+                        self.counters.rows_scanned += len(chunk)
+                    return [work(c) for c in chunks]
+        """, path="src/repro/core/query/physical.py") == []
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert run("""\
@@ -391,7 +469,7 @@ class TestEntryPoints:
 
     def test_rule_registry_documented(self):
         assert set(LINT_RULES) == {"L001", "L002", "L003", "L004",
-                                   "L005", "L006", "L007"}
+                                   "L005", "L006", "L007", "L008"}
         assert all(LINT_RULES.values())
 
     def test_lint_file_reads_real_module(self):

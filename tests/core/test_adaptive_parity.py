@@ -1,0 +1,334 @@
+"""Differential suite: adaptive execution must match both engines.
+
+``execution_mode="adaptive"`` (the default) is allowed to pick a
+different physical engine per query, fuse pipelines, and spread scans
+over morsel workers — but none of that may ever change an answer.
+Every workload family runs under row, vectorized, and adaptive modes
+(semantic cache off) at worker counts 1, 2, and 8, and all three must
+agree bit-for-bit on rows and on the accounting counters
+``rows_scanned`` / ``rows_emitted`` / ``index_probes``.
+
+The suite also pins the adaptive-only machinery: the cost crossover
+(index probes stay row, wide scans go vectorized), the compiled-plan
+cache (hits, misses, invalidation on re-ANALYZE), the mutation
+staleness trigger, and the morsel pool's order-restoring merge.
+"""
+
+import pytest
+
+from repro.core import EngineConfig, QueryEngine
+from repro.core.drugtree import STALE_MIN_MUTATIONS
+from repro.core.query.adaptive import choose_engine
+from repro.core.query.cost import (
+    MAX_VEC_BATCH,
+    MIN_VEC_BATCH,
+    adaptive_batch_size,
+)
+from repro.core.query.morsel import MorselPool, resolve_workers
+from repro.obs import MetricsRegistry, set_metrics
+from repro.sources import (
+    BreakerConfig,
+    FaultSchedule,
+    FetchScheduler,
+    Outage,
+    wrap_registry,
+)
+from repro.workloads import DatasetConfig, QueryGenerator, build_dataset
+from repro.workloads.queries import ALL_KINDS
+
+COUNTER_KEYS = ("rows_scanned", "rows_emitted", "index_probes")
+WORKER_COUNTS = (1, 2, 8)
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    set_metrics(MetricsRegistry())
+    yield
+    set_metrics(MetricsRegistry())
+
+
+def make_dataset(seed=17, n_leaves=16, n_ligands=24):
+    return build_dataset(DatasetConfig(n_leaves=n_leaves,
+                                       n_ligands=n_ligands, seed=seed))
+
+
+def make_engine(drugtree, mode, workers=1, batch_size=None,
+                federation=None):
+    kwargs = {"federation": federation} if federation else {}
+    config_kwargs = {
+        "use_semantic_cache": False,
+        "execution_mode": mode,
+    }
+    if mode == "adaptive":
+        config_kwargs["morsel_workers"] = workers
+    if batch_size is not None:
+        config_kwargs["vector_batch_size"] = batch_size
+    return QueryEngine(drugtree, EngineConfig(**config_kwargs), **kwargs)
+
+
+def make_trio(dataset, workers=1, federated=False):
+    """Row, vectorized, and adaptive engines over the same DrugTree."""
+    drugtree = dataset.drugtree()
+    federation = (FetchScheduler(dataset.registry)
+                  if federated else None)
+    return tuple(
+        make_engine(drugtree, mode, workers=workers,
+                    federation=federation)
+        for mode in ("row", "vectorized", "adaptive")
+    )
+
+
+def assert_three_way_parity(engines, query, counters=True):
+    row, vec, ada = engines
+    got_row = row.execute(query)
+    got_vec = vec.execute(query)
+    got_ada = ada.execute(query)
+    assert got_vec.rows == got_row.rows, query
+    assert got_ada.rows == got_row.rows, query
+    if counters:
+        for key in COUNTER_KEYS:
+            baseline = got_row.counters.get(key, 0)
+            assert got_vec.counters.get(key, 0) == baseline, (key, query)
+            assert got_ada.counters.get(key, 0) == baseline, (key, query)
+    return got_row, got_vec, got_ada
+
+
+class TestWorkloadFamilies:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_generated_queries_match(self, kind, seed):
+        dataset = make_dataset(seed=seed)
+        engines = make_trio(dataset)
+        generator = QueryGenerator(dataset.family, dataset.ligands,
+                                   seed=seed)
+        for _ in range(3):
+            query = generator.draw(kind)
+            got_row, _, got_ada = assert_three_way_parity(engines, query)
+            assert got_ada.degraded == got_row.degraded
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_worker_count_never_changes_answers(self, workers):
+        dataset = make_dataset(seed=7)
+        engines = make_trio(dataset, workers=workers)
+        generator = QueryGenerator(dataset.family, dataset.ligands,
+                                   seed=7)
+        for kind in ALL_KINDS:
+            assert_three_way_parity(engines, generator.draw(kind))
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_float_folds_bit_identical_across_workers(self, workers):
+        """Aggregation means/sums must not drift with parallelism."""
+        dataset = make_dataset(seed=13, n_leaves=20, n_ligands=30)
+        drugtree = dataset.drugtree()
+        # Tiny batches force many morsels so the pool actually splits.
+        engine = make_engine(drugtree, "adaptive", workers=workers,
+                             batch_size=16)
+        reference = make_engine(drugtree, "row")
+        dtql = ("SELECT organism, count(*), mean(p_affinity), "
+                "min(logp), max(logp) FROM bindings "
+                "GROUP BY organism ORDER BY organism")
+        assert engine.execute(dtql).rows == reference.execute(dtql).rows
+
+
+class TestDtqlParity:
+    QUERIES = (
+        "SELECT count(*) FROM bindings",
+        "SELECT count(*), mean(p_affinity), max(p_affinity) "
+        "FROM bindings WHERE potent = true",
+        "SELECT organism, count(*), mean(p_affinity) FROM bindings "
+        "GROUP BY organism ORDER BY organism",
+        "SELECT ligand_id, p_affinity FROM bindings "
+        "WHERE p_affinity >= 6.5 ORDER BY p_affinity DESC LIMIT 10",
+        "SELECT protein_id, ligand_id FROM bindings "
+        "WHERE organism = 'Homo sapiens' AND logp <= 3.0",
+    )
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("dtql", QUERIES)
+    def test_dtql_parity(self, dtql, workers):
+        dataset = make_dataset(seed=23)
+        engines = make_trio(dataset, workers=workers)
+        assert_three_way_parity(engines, dtql)
+
+
+class TestFederatedParity:
+    REMOTE_QUERY = "SELECT protein_id, method FROM proteins"
+
+    def test_remote_detail_fallback_matches(self):
+        dataset = make_dataset(seed=17, n_leaves=12, n_ligands=12)
+        engines = make_trio(dataset, federated=True)
+        got_row, _, got_ada = assert_three_way_parity(
+            engines, self.REMOTE_QUERY, counters=False)
+        assert got_ada.rows
+
+    def _resilient_engine(self, mode):
+        dataset = make_dataset(seed=17, n_leaves=12, n_ligands=12)
+        registry = wrap_registry(dataset.registry, {
+            "pdb-sim": FaultSchedule([Outage(0.0, 1000.0)]),
+        })
+        scheduler = FetchScheduler(
+            registry, max_attempts=1,
+            breaker_config=BreakerConfig(failure_threshold=3),
+        )
+        return QueryEngine(
+            dataset.drugtree(),
+            EngineConfig(use_semantic_cache=False, execution_mode=mode),
+            federation=scheduler,
+        )
+
+    def test_degraded_path_matches(self):
+        row = self._resilient_engine("row")
+        ada = self._resilient_engine("adaptive")
+        got_row = row.execute(self.REMOTE_QUERY)
+        got_ada = ada.execute(self.REMOTE_QUERY)
+        assert got_ada.rows == got_row.rows
+        assert got_ada.resilience == got_row.resilience
+        assert got_ada.degraded == got_row.degraded
+        assert got_ada.degraded is True
+
+
+class TestAdaptiveChoice:
+    def test_wide_scan_goes_vectorized(self):
+        dataset = make_dataset(seed=23, n_leaves=20, n_ligands=30)
+        engine = make_engine(dataset.drugtree(), "adaptive")
+        report = engine.analyze(
+            "SELECT count(*) FROM bindings WHERE potent = true")
+        assert report.execution["mode"] == "vectorized"
+        assert report.execution["requested"] == "adaptive"
+        assert report.execution["vec_cost"] < report.execution["row_cost"]
+        assert report.execution["fused"] >= 1
+        rendered = report.render()
+        assert "-- execution: mode=vectorized (adaptive)" in rendered
+        assert "-- execution: chose vectorized:" in rendered
+
+    def test_index_point_lookup_stays_row(self):
+        dataset = make_dataset(seed=23, n_leaves=20, n_ligands=30)
+        drugtree = dataset.drugtree()
+        engine = make_engine(drugtree, "adaptive")
+        ligand = next(iter(drugtree.tables["ligands"].scan()))[1][0]
+        report = engine.analyze(
+            f"SELECT * FROM bindings WHERE ligand_id = '{ligand}'")
+        assert report.execution["mode"] == "row"
+        assert report.execution["requested"] == "adaptive"
+        assert report.execution["row_cost"] <= report.execution["vec_cost"]
+        assert "chose row:" in report.render()
+
+    def test_explicit_modes_have_no_adaptive_keys(self):
+        dataset = make_dataset(seed=23)
+        drugtree = dataset.drugtree()
+        row = make_engine(drugtree, "row")
+        report = row.analyze("SELECT count(*) FROM bindings")
+        assert report.execution == {"mode": "row"}
+
+    def test_choose_engine_unit(self):
+        dataset = make_dataset(seed=23, n_leaves=20, n_ligands=30)
+        drugtree = dataset.drugtree()
+        engine = make_engine(drugtree, "adaptive")
+        from repro.core.query import parse_query
+        plan = engine.planner.plan(
+            parse_query("SELECT count(*) FROM bindings"))
+        choice = choose_engine(plan.logical, engine.planner.estimator,
+                               engine.config)
+        assert choice.mode == "vectorized"
+        assert choice.row_cost > choice.vec_cost
+        assert MIN_VEC_BATCH <= choice.batch_size <= MAX_VEC_BATCH
+
+    def test_adaptive_batch_size_scales(self):
+        assert adaptive_batch_size(10) == MIN_VEC_BATCH
+        assert adaptive_batch_size(100_000) == MAX_VEC_BATCH
+        mid = adaptive_batch_size(10_000)
+        assert MIN_VEC_BATCH < mid <= MAX_VEC_BATCH
+
+
+class TestCompiledPlanCache:
+    def _counters(self):
+        from repro.obs import get_metrics
+        return get_metrics().counter_values()
+
+    def test_repeat_query_hits_cache(self):
+        dataset = make_dataset(seed=23)
+        engine = make_engine(dataset.drugtree(), "adaptive")
+        dtql = "SELECT count(*) FROM bindings WHERE potent = true"
+        engine.execute(dtql)
+        first = self._counters()
+        assert first.get("fused.cache_misses", 0) >= 1
+        engine.execute(dtql)
+        second = self._counters()
+        assert second.get("fused.cache_hits", 0) >= 1
+        assert second.get("fused.cache_misses", 0) == \
+            first.get("fused.cache_misses", 0)
+
+    def test_reanalyze_invalidates_cache(self):
+        dataset = make_dataset(seed=23)
+        drugtree = dataset.drugtree()
+        engine = make_engine(drugtree, "adaptive")
+        dtql = "SELECT count(*) FROM bindings WHERE potent = true"
+        engine.execute(dtql)
+        engine.execute(dtql)
+        hits_before = self._counters().get("fused.cache_hits", 0)
+        misses_before = self._counters().get("fused.cache_misses", 0)
+        drugtree.refresh_statistics()  # bumps stats_epoch
+        engine.execute(dtql)
+        after = self._counters()
+        assert after.get("fused.cache_misses", 0) == misses_before + 1
+        assert after.get("fused.cache_hits", 0) == hits_before
+
+
+class TestMutationReanalyze:
+    def test_mutations_trigger_reanalyze_and_invalidation(self):
+        dataset = make_dataset(seed=41, n_leaves=12, n_ligands=16)
+        drugtree = dataset.drugtree()
+        engines = make_trio(dataset)
+        _, _, ada = engines
+        dtql = ("SELECT ligand_id, p_affinity FROM bindings "
+                "WHERE p_affinity >= 6.0")
+        assert_three_way_parity(engines, dtql)
+        epoch_before = drugtree.stats_epoch
+        count_dtql = ("SELECT count(*) FROM bindings "
+                      "WHERE p_affinity >= 9.0")
+        base_count = ada.execute(count_dtql).rows[0]["count_all"]
+
+        table = drugtree.tables["bindings"]
+        template = table.schema.row_as_dict(next(iter(table.scan()))[1])
+        rows_before = table.row_count
+        for i in range(STALE_MIN_MUTATIONS + 1):
+            fresh = dict(template)
+            fresh["ligand_id"] = f"lig_mut_{i}"
+            fresh["p_affinity"] = 9.0 + i / 100.0
+            table.insert(fresh)
+        assert "bindings" in drugtree.stale_tables()
+
+        # The next statistics read re-ANALYZEs the stale table...
+        stats = drugtree.statistics["bindings"]
+        assert stats.row_count == rows_before + STALE_MIN_MUTATIONS + 1
+        assert drugtree.stats_epoch > epoch_before
+        assert drugtree.stale_tables() == []
+        # ...and all three engines still agree on the mutated data.
+        assert_three_way_parity(engines, dtql)
+        got = ada.execute(count_dtql)
+        assert got.rows[0]["count_all"] == \
+            base_count + STALE_MIN_MUTATIONS + 1
+
+
+class TestMorselPool:
+    def test_imap_ordered_restores_submission_order(self):
+        pool = MorselPool(8)
+        items = list(range(200))
+        # A skewed workload: early items finish last without the
+        # order-restoring merge.
+        def work(i):
+            total = 0
+            for _ in range((200 - i) % 37):
+                total += i
+            return (i, total)
+        results = list(pool.imap_ordered(work, items))
+        assert [i for i, _ in results] == items
+
+    def test_single_worker_runs_inline(self):
+        pool = MorselPool(1)
+        assert list(pool.imap_ordered(lambda x: x * 2, [1, 2, 3])) == \
+            [2, 4, 6]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers(0) >= 1

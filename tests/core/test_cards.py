@@ -36,6 +36,49 @@ class TestTableRows:
         assert estimator.table_rows("ghost") == 1000.0
 
 
+class TestLiveRowFallback:
+    """No statistics != no knowledge: live tables beat the constant."""
+
+    def _table(self, rows=250):
+        schema = Schema([string_column("organism"),
+                         float_column("p_affinity")])
+        table = Table("bindings", schema)
+        for i in range(rows):
+            table.insert({"organism": f"org_{i % 4}",
+                          "p_affinity": 5.0 + i / 100.0})
+        return table
+
+    def test_live_table_row_count_used(self):
+        table = self._table(rows=250)
+        estimator = CardinalityEstimator({}, tables={"bindings": table})
+        assert estimator.table_rows("bindings") == 250.0
+        assert "bindings" in estimator.blind_tables
+
+    def test_unknown_table_still_falls_back(self):
+        estimator = CardinalityEstimator({}, tables={})
+        assert estimator.table_rows("ghost") == 1000.0
+        assert "ghost" in estimator.blind_tables
+
+    def test_analyzed_table_is_not_blind(self):
+        table = self._table(rows=250)
+        estimator = CardinalityEstimator({"bindings": analyze(table)},
+                                         tables={"bindings": table})
+        assert estimator.table_rows("bindings") == 250.0
+        assert estimator.blind_tables == set()
+
+    def test_blind_estimates_counted(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        table = self._table(rows=50)
+        estimator = CardinalityEstimator({}, tables={"bindings": table},
+                                         metrics=metrics)
+        estimator.table_rows("bindings")
+        estimator.table_rows("ghost")
+        estimator.table_rows("bindings")  # same table counts once
+        assert metrics.counter_values()["stats.missing"] == 2
+
+
 class TestSelectivity:
     def test_equality_on_uniform_column(self, estimator):
         sel = estimator.predicate_selectivity(

@@ -88,17 +88,30 @@ class TestBuildAndDesign:
                                                     require_range=True)
         assert drugtree.statistics["bindings"].row_count == 1
 
-    def test_statistics_go_stale_on_mutation(self, tree):
+    def test_statistics_refresh_at_staleness_threshold(self, tree):
+        # A single mutation is below the staleness threshold: slightly
+        # stale statistics are kept (they only perturb cost estimates).
         drugtree = DrugTree.build(
             tree, proteins=[{"protein_id": leaf} for leaf in "abcd"],
         )
-        stats_before = drugtree.statistics
         drugtree.add_binding(
             BindingRecord("L1", "a", ActivityType.KI, 10.0)
         )
-        stats_after = drugtree.statistics  # recomputed lazily
-        assert stats_after["bindings"].row_count == 1
-        assert stats_before["bindings"].row_count == 0
+        assert drugtree.statistics["bindings"].row_count == 0
+        assert "bindings" not in drugtree.stale_tables()
+        # Crossing the threshold marks the table stale and the next
+        # statistics read re-ANALYZEs just that table.
+        from repro.core.drugtree import STALE_MIN_MUTATIONS
+        for _ in range(STALE_MIN_MUTATIONS):
+            drugtree.add_binding(
+                BindingRecord("L1", "a", ActivityType.KI, 10.0)
+            )
+        assert "bindings" in drugtree.stale_tables()
+        epoch_before = drugtree.stats_epoch
+        stats_after = drugtree.statistics
+        assert stats_after["bindings"].row_count == STALE_MIN_MUTATIONS + 1
+        assert drugtree.stats_epoch > epoch_before
+        assert drugtree.stale_tables() == []
 
     def test_mutation_listener_fires(self, tree):
         drugtree = DrugTree(tree)

@@ -283,4 +283,6 @@ class TestDiagnostics:
             EngineConfig(execution_mode="simd")
         with pytest.raises(QueryError, match="batch"):
             EngineConfig(vector_batch_size=0)
-        assert EngineConfig().execution_mode == "row"
+        with pytest.raises(QueryError, match="morsel"):
+            EngineConfig(morsel_workers=-1)
+        assert EngineConfig().execution_mode == "adaptive"

@@ -164,9 +164,41 @@ class TestObservabilityCommands:
         assert main(["stats", "--json", *WORLD]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["counters"]["query.executed"] >= 4
+        assert payload["gauges"]["stats.stale_tables"] == 0
         assert "spans" in payload
         assert any(name.startswith("query.")
                    for name in payload["spans"])
+
+    def test_analyze(self, capsys):
+        assert main(["analyze", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "bindings (" in out
+        assert "NDV" in out
+        assert "histogram" in out
+        assert "0 stale table(s)" in out
+
+    def test_analyze_one_table(self, capsys):
+        assert main(["analyze", "--table", "bindings", *WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "bindings (" in out
+        assert "ligands (" not in out
+
+    def test_analyze_unknown_table(self, capsys):
+        assert main(["analyze", "--table", "ghost", *WORLD]) == 2
+        assert "no such table" in capsys.readouterr().err
+
+    def test_analyze_json(self, capsys):
+        import json
+
+        assert main(["analyze", "--json", *WORLD]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["stale_tables"] == []
+        bindings = payload["tables"]["bindings"]
+        assert bindings["row_count"] > 0
+        affinity = bindings["columns"]["p_affinity"]
+        assert affinity["distinct_count"] > 0
+        assert affinity["histogram_bounds"]
+        assert affinity["most_common"]
 
 
 class TestCheckCommand:
