@@ -10,10 +10,17 @@ contains the rows EXPERIMENTS.md quotes.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
 import pytest
+
+# Benchmarks compare wall-clock timings (e.g. E14's warm-recover vs
+# cold-integrate ratio); the lock-order witness's per-acquisition
+# bookkeeping would skew those ratios, so timing runs opt out of the
+# suite-wide sanitizer (see the root conftest).
+os.environ.setdefault("REPRO_LOCKWATCH", "0")
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 

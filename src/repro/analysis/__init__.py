@@ -1,23 +1,42 @@
-"""Static analysis: DTQL semantics and repository invariants.
+"""Static analysis: DTQL semantics, repository invariants, concurrency.
 
-Two layers share one diagnostics vocabulary (:mod:`repro.analysis.diag`):
+Three layers share one diagnostics vocabulary (:mod:`repro.analysis.diag`)
+and one severity-tagged rule catalog (:mod:`repro.analysis.registry`):
 
 * :mod:`repro.analysis.dtql` — a typed-catalog semantic pass over DTQL
   queries that runs *between* parse and plan: unknown-name suggestions,
   predicate type checking, constant folding, range analysis proving
   contradictions before any table (or remote source) is touched, and
   remote-cost warnings for federation-resolved columns;
-* :mod:`repro.analysis.lint` — Python-``ast`` rules over the repository
-  source itself, enforcing the concurrency and determinism invariants
-  the runtime relies on (single wall-clock path, ``with``-guarded
-  locks, lock-guarded shared-state writes, seeded randomness).
+* :mod:`repro.analysis.lint` — per-module Python-``ast`` rules over the
+  repository source itself, enforcing the determinism invariants the
+  runtime relies on (single wall-clock path, ``with``-guarded locks,
+  seeded randomness);
+* :mod:`repro.analysis.concurrency` — whole-program analysis: call
+  graph + thread-entry inference, lock-order graphs with deadlock-cycle
+  detection, and reachability-based race detection for shared writes
+  (which also powers lint's historical L003/L008 rules).
 
-``python -m repro check`` and ``python -m repro lint`` expose both from
-the command line; the query engine and the mobile server run the DTQL
-layer on every query they accept.
+``python -m repro check`` / ``lint`` / ``race`` expose the layers from
+the command line (JSON and SARIF via :mod:`repro.analysis.sarif`); the
+query engine and the mobile server run the DTQL layer on every query
+they accept, and the runtime half of the concurrency story lives in
+:mod:`repro.obs.lockwatch`.
 """
 
 from repro.analysis.catalog import Catalog, ColumnInfo
+from repro.analysis.concurrency import (
+    AnalysisResult,
+    BASELINE_NAME,
+    Baseline,
+    CONC_RULES,
+    Finding,
+    analyze_paths,
+    analyze_sources,
+    find_baseline,
+    load_baseline,
+    render_baseline,
+)
 from repro.analysis.diag import Diagnostic, Severity, Span
 from repro.analysis.dtql import (
     AnalysisReport,
@@ -25,18 +44,36 @@ from repro.analysis.dtql import (
     empty_result_rows,
 )
 from repro.analysis.lint import LINT_RULES, lint_file, lint_paths, lint_source
+from repro.analysis.registry import RULES, Rule, rules_for, severity_of
+from repro.analysis.sarif import render_sarif, sarif_log
 
 __all__ = [
     "AnalysisReport",
+    "AnalysisResult",
+    "BASELINE_NAME",
+    "Baseline",
+    "CONC_RULES",
     "Catalog",
     "ColumnInfo",
     "Diagnostic",
+    "Finding",
     "LINT_RULES",
+    "RULES",
+    "Rule",
     "SemanticAnalyzer",
     "Severity",
     "Span",
+    "analyze_paths",
+    "analyze_sources",
     "empty_result_rows",
+    "find_baseline",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "render_baseline",
+    "render_sarif",
+    "rules_for",
+    "sarif_log",
+    "severity_of",
 ]

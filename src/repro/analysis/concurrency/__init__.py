@@ -1,0 +1,57 @@
+"""Whole-program concurrency analysis: races, lock order, reachability.
+
+Three layers:
+
+* :mod:`~repro.analysis.concurrency.model` — per-module AST extraction
+  (functions, calls, lock scopes, writes, thread-entry registrations);
+* :mod:`~repro.analysis.concurrency.program` — linking: call graph,
+  entry inference, reachability, lock canonicalization, the global
+  lock-order graph, and the blocking closure;
+* :mod:`~repro.analysis.concurrency.analyzer` — the CONC rule set,
+  noqa + baseline suppression, and the ``analyze_paths`` /
+  ``analyze_sources`` entry points used by ``repro race`` and the
+  migrated lint rules L003/L008.
+
+The runtime half of the story — the lock-order witness that checks the
+static graph against real executions — lives in
+:mod:`repro.obs.lockwatch` and is enabled suite-wide via ``conftest``.
+"""
+
+from repro.analysis.concurrency.analyzer import (
+    BASELINE_NAME,
+    AnalysisResult,
+    Baseline,
+    CONC_RULES,
+    Finding,
+    analyze_paths,
+    analyze_sources,
+    collect_findings,
+    find_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.concurrency.model import ModuleModel, extract_module
+from repro.analysis.concurrency.program import (
+    Program,
+    link,
+    lock_cycles,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "BASELINE_NAME",
+    "Baseline",
+    "CONC_RULES",
+    "Finding",
+    "ModuleModel",
+    "Program",
+    "analyze_paths",
+    "analyze_sources",
+    "collect_findings",
+    "extract_module",
+    "find_baseline",
+    "link",
+    "load_baseline",
+    "lock_cycles",
+    "render_baseline",
+]

@@ -13,11 +13,15 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           ``obs/timing.py`` — including aliasing one to a new name.
 ``L002``  No bare ``.acquire()`` — locks are taken with ``with`` so
           exceptions can never leak a held lock.
-``L003``  No attribute writes to scheduler-shared classes
-          (``CachingSource``, ``MetricsRegistry``, ``Tracer``,
-          ``FetchScheduler``) outside ``__init__`` unless inside a
-          ``with self.<...lock...>:`` block. Thread-local state
-          (paths through ``_local``) is exempt.
+``L003``  No unguarded ``self.attr`` writes in methods reachable from
+          a *thread entry* (a callable submitted to a pool, a
+          ``threading.Thread`` target, a ``concurrently()`` task
+          body). Served by the whole-program reachability engine in
+          :mod:`repro.analysis.concurrency` — no class or directory
+          allowlists; if a worker thread can reach the write and no
+          lock dominates every path to it, it is flagged.
+          Thread-local state (paths through ``_local``) and
+          ``__init__`` bodies are exempt.
 ``L004``  In ``core`` paths: no module-level ``random.*`` functions
           (global unseeded state) and no ``Random()`` without a seed.
 ``L005``  No silently swallowed source faults: an ``except`` naming a
@@ -35,20 +39,27 @@ from a seeded ``random.Random``. These rules enforce each mechanically:
           bypasses the WAL's crash-safety protocol (CRC framing,
           fsync policy, atomic manifest swap). Durable state goes
           through the durable engine.
-``L008``  No unguarded shared-state writes in morsel worker code
-          paths: inside ``core/query/morsel.py`` /
-          ``core/query/vectorized.py`` / ``core/query/fused.py``, a
-          nested closure is (or may become) a pool worker, so it must
-          stay pure — no attribute or subscript assignment, no
-          ``nonlocal`` rebinding — unless inside a ``with
-          self.<...lock...>:`` block. Counters, gathers, and folds
-          advance on the coordinating thread, which is what keeps
+``L008``  No unguarded shared-state writes inside thread-entry
+          closures: a nested function handed to
+          ``MorselPool.imap_ordered`` / ``pool.submit`` (directly or
+          through a closure-returning factory) runs off the
+          coordinating thread, so it must stay pure — no attribute or
+          subscript assignment, no ``nonlocal`` rebinding — unless a
+          lock guards the write. Like L003 this now rides the
+          reachability engine: the *registration* makes a closure a
+          worker, not the directory it lives in. Purity is what keeps
           results bit-identical across worker counts.
 ========  ==============================================================
 
-Suppress a finding with ``# noqa`` (all rules) or ``# noqa: L001,L003``
-(listed rules) on the flagged line. ``repro lint`` runs these as the CI
-gate; :func:`lint_paths` is the library entry point.
+L003 and L008 are aliases over the concurrency analyzer's CONC101
+findings (see :mod:`repro.analysis.concurrency`): the linter re-tags
+the method-write shape as L003 and the worker-closure shape as L008 so
+the historical IDs stay stable. Suppress a finding with ``# noqa``
+(all rules) or ``# noqa: L001,L003`` (listed rules) on the flagged
+line — either the alias or the CONC code works — or through the
+committed ``concurrency.baseline.json`` for triaged findings.
+``repro lint`` runs these as the CI gate; :func:`lint_paths` is the
+library entry point.
 """
 
 from __future__ import annotations
@@ -58,17 +69,13 @@ import os
 import re
 
 from repro.analysis.diag import Diagnostic, Severity
+from repro.analysis.registry import rules_for
 
-#: Rule registry: code → one-line description (shown by ``repro lint``).
+#: This pass's slice of the shared catalog, as the historical
+#: code → summary mapping (shown by ``repro lint``).
 LINT_RULES: dict[str, str] = {
-    "L001": "wall-clock call outside obs/timing.py",
-    "L002": "bare Lock.acquire() without 'with'",
-    "L003": "unguarded attribute write to a scheduler-shared class",
-    "L004": "unseeded randomness in core paths",
-    "L005": "source fault silently swallowed (except ...: pass)",
-    "L006": "per-row dispatch inside the vectorized batch path",
-    "L007": "direct file mutation outside storage/durable and obs",
-    "L008": "unguarded shared-state write inside a morsel worker",
+    code: rule.summary for code, rule in rules_for("lint").items()
+    if code != "L000"
 }
 
 #: Fully-dotted callables that read the wall clock.
@@ -82,14 +89,6 @@ _WALL_CLOCK = frozenset({
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
-})
-
-#: Classes whose instances are shared across FetchScheduler threads.
-_SHARED_CLASSES = frozenset({
-    "CachingSource",
-    "MetricsRegistry",
-    "Tracer",
-    "FetchScheduler",
 })
 
 #: The SourceError family: swallowing any of these hides degradation.
@@ -131,21 +130,6 @@ def _is_batch_path(path: str) -> bool:
     return normalized.endswith(_BATCH_PATH_SUFFIXES)
 
 
-#: Modules whose nested closures may run on morsel pool workers: any
-#: shared-state write there races the coordinator and breaks the
-#: bit-parity guarantee across worker counts (rule L008).
-_MORSEL_PATH_SUFFIXES = (
-    "core/query/morsel.py",
-    "core/query/vectorized.py",
-    "core/query/fused.py",
-)
-
-
-def _is_morsel_path(path: str) -> bool:
-    normalized = path.replace(os.sep, "/")
-    return normalized.endswith(_MORSEL_PATH_SUFFIXES)
-
-
 #: ``open()`` mode characters that make the handle writable (rule L007).
 _WRITE_MODE_CHARS = frozenset("wax+")
 
@@ -172,14 +156,10 @@ class _Visitor(ast.NodeVisitor):
         self.timing_module = _is_timing_module(path)
         self.core_path = _is_core_path(path)
         self.batch_path = _is_batch_path(path)
-        self.morsel_path = _is_morsel_path(path)
         self.file_mutation_allowed = _may_mutate_files(path)
         self.findings: list[tuple[str, int, str]] = []
         self.module_aliases: dict[str, str] = {}  # local name → module
         self.symbol_imports: dict[str, str] = {}  # local name → dotted
-        self.class_stack: list[str] = []
-        self.func_stack: list[str] = []
-        self.lock_depth = 0
 
     # -- name resolution ---------------------------------------------------
 
@@ -347,125 +327,6 @@ class _Visitor(ast.NodeVisitor):
             ))
         self.generic_visit(node)
 
-    # -- L003: shared-state writes -----------------------------------------
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self.class_stack.append(node.name)
-        self.generic_visit(node)
-        self.class_stack.pop()
-
-    def _visit_function(self, node) -> None:
-        self.func_stack.append(node.name)
-        saved = self.lock_depth
-        self.lock_depth = 0  # a lock held by a caller is not visible here
-        self.generic_visit(node)
-        self.lock_depth = saved
-        self.func_stack.pop()
-
-    visit_FunctionDef = _visit_function
-    visit_AsyncFunctionDef = _visit_function
-
-    @staticmethod
-    def _is_lock_guard(item: ast.withitem) -> bool:
-        expr = item.context_expr
-        return (isinstance(expr, ast.Attribute)
-                and "lock" in expr.attr.lower()
-                and isinstance(expr.value, ast.Name)
-                and expr.value.id == "self")
-
-    def visit_With(self, node: ast.With) -> None:
-        guarded = any(self._is_lock_guard(item) for item in node.items)
-        for item in node.items:
-            self.visit(item.context_expr)
-        if guarded:
-            self.lock_depth += 1
-        for statement in node.body:
-            self.visit(statement)
-        if guarded:
-            self.lock_depth -= 1
-
-    def _self_attribute_path(self, target: ast.expr) -> list[str] | None:
-        parts: list[str] = []
-        current = target
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if isinstance(current, ast.Name) and current.id == "self" and parts:
-            parts.reverse()
-            return parts
-        return None
-
-    def _check_shared_write(self, node, targets: list[ast.expr]) -> None:
-        if not self.class_stack \
-                or self.class_stack[-1] not in _SHARED_CLASSES:
-            return
-        if not self.func_stack or self.func_stack[0] == "__init__":
-            return  # construction happens-before sharing
-        if self.lock_depth > 0:
-            return
-        for target in targets:
-            path = self._self_attribute_path(target)
-            if path is None:
-                continue
-            if any(part.startswith("_local") for part in path):
-                continue  # thread-local state needs no lock
-            self.findings.append((
-                "L003", node.lineno,
-                f"write to self.{'.'.join(path)} in "
-                f"{self.class_stack[-1]}.{self.func_stack[-1]} outside "
-                "a 'with self.<lock>:' block",
-            ))
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        self._check_shared_write(node, node.targets)
-        self._check_worker_write(node, node.targets)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_shared_write(node, [node.target])
-        self._check_worker_write(node, [node.target])
-        self.generic_visit(node)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        self._check_shared_write(node, [node.target])
-        self._check_worker_write(node, [node.target])
-        self.generic_visit(node)
-
-    # -- L008: shared-state writes inside morsel workers -------------------
-
-    def _in_morsel_worker(self) -> bool:
-        """Inside a nested closure of a morsel-path module?
-
-        Closures in these modules are handed to ``MorselPool`` workers
-        (or are one refactor away from being), so nested-function scope
-        is the mechanical marker for "may run off the coordinator".
-        """
-        return self.morsel_path and len(self.func_stack) >= 2
-
-    def _check_worker_write(self, node, targets: list[ast.expr]) -> None:
-        if not self._in_morsel_worker() or self.lock_depth > 0:
-            return
-        for target in targets:
-            if isinstance(target, (ast.Attribute, ast.Subscript)):
-                self.findings.append((
-                    "L008", node.lineno,
-                    f"shared-state write inside morsel worker "
-                    f"{self.func_stack[-1]!r}; workers must stay pure — "
-                    "advance counters and accumulators on the "
-                    "coordinating thread",
-                ))
-
-    def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
-        if self._in_morsel_worker() and self.lock_depth == 0:
-            self.findings.append((
-                "L008", node.lineno,
-                f"nonlocal rebinding of {', '.join(node.names)} inside "
-                f"morsel worker {self.func_stack[-1]!r}; workers must "
-                "stay pure — accumulate on the coordinating thread",
-            ))
-        self.generic_visit(node)
-
-
 def _suppressed(line: str, code: str) -> bool:
     match = _NOQA_RE.search(line)
     if match is None:
@@ -477,8 +338,8 @@ def _suppressed(line: str, code: str) -> bool:
     return code.upper() in listed
 
 
-def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
-    """Run every lint rule over one module's source text."""
+def _module_diagnostics(source: str, path: str) -> list[Diagnostic]:
+    """The per-module rules (everything except the L003/L008 aliases)."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -500,13 +361,65 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
     return diagnostics
 
 
+def _alias_diagnostics(named_sources: list[tuple[str, str]],
+                       baseline=None) -> list[Diagnostic]:
+    """L003/L008 via the whole-program reachability engine.
+
+    Runs the concurrency analyzer over *named_sources* as one program
+    (so a write three calls away from a ``pool.submit`` in another
+    module is still found) and re-tags the CONC101 findings with their
+    historical lint IDs.  Suppression comes back for free: the
+    analyzer honours ``# noqa`` with either code plus the baseline.
+    """
+    from repro.analysis.concurrency import analyze_sources
+
+    result = analyze_sources(named_sources, baseline)
+    return [
+        Diagnostic(finding.lint_alias, Severity.ERROR, finding.message,
+                   file=finding.file, line=finding.line,
+                   hint=finding.hint)
+        for finding in result.findings
+        if finding.lint_alias is not None
+    ]
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Run every lint rule over one module's source text."""
+    diagnostics = _module_diagnostics(source, path)
+    if not any(d.code == "L000" for d in diagnostics):
+        diagnostics.extend(_alias_diagnostics([(path, source)]))
+    return diagnostics
+
+
 def lint_file(path: str) -> list[Diagnostic]:
     with open(path, encoding="utf-8") as handle:
         return lint_source(handle.read(), path)
 
 
-def lint_paths(paths: list[str]) -> list[Diagnostic]:
-    """Lint every ``*.py`` under *paths* (files or directories)."""
+def lint_paths(paths: list[str], baseline=None) -> list[Diagnostic]:
+    """Lint every ``*.py`` under *paths* as one whole program.
+
+    The per-module rules run file by file; L003/L008 link everything
+    first so thread reachability crosses module boundaries.  The
+    concurrency baseline is discovered by upward walk from *paths*
+    (pass ``baseline`` explicitly to override).
+    """
+    from repro.analysis.concurrency import analyze_sources, find_baseline
+
+    named: list[tuple[str, str]] = []
+    for file_path in _python_files(paths):
+        with open(file_path, encoding="utf-8") as handle:
+            named.append((file_path, handle.read()))
+    diagnostics: list[Diagnostic] = []
+    for file_path, source in named:
+        diagnostics.extend(_module_diagnostics(source, file_path))
+    if baseline is None:
+        baseline = find_baseline(paths)
+    diagnostics.extend(_alias_diagnostics(named, baseline))
+    return diagnostics
+
+
+def _python_files(paths: list[str]) -> list[str]:
     files: list[str] = []
     for path in paths:
         if os.path.isfile(path):
@@ -520,7 +433,4 @@ def lint_paths(paths: list[str]) -> list[Diagnostic]:
             files.extend(os.path.join(root, name)
                          for name in sorted(names)
                          if name.endswith(".py"))
-    diagnostics: list[Diagnostic] = []
-    for file_path in files:
-        diagnostics.extend(lint_file(file_path))
-    return diagnostics
+    return files

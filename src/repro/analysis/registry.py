@@ -1,0 +1,88 @@
+"""Severity-tagged rule registry shared by the lint and race passes.
+
+Every static-analysis rule the repo enforces lives here as one
+:class:`Rule` — stable code, severity, one-line summary, and the pass
+that owns it — so ``repro lint`` and ``repro race`` list, gate, and
+serialize (JSON/SARIF) from a single catalog instead of each tool
+keeping a private dict.  The historical lint codes L001–L008 keep their
+IDs; the whole-program concurrency rules use the CONC range:
+
+* ``L0xx``    — per-module repository invariants (``repro lint``);
+* ``CONC1xx`` — thread-reachability race rules (``repro race``,
+  superseding the per-module L003/L008 heuristics);
+* ``CONC2xx`` — lock-order rules (deadlock cycles, lock held across
+  blocking calls).
+
+L003 and L008 are *aliases*: their findings are produced by the
+concurrency analyzer's reachability engine and re-tagged with the
+historical IDs so existing ``# noqa: L003`` comments, CI gates, and
+dashboards keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diag import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static-analysis rule in the shared catalog."""
+
+    code: str
+    severity: Severity
+    summary: str
+    domain: str          # "lint" | "concurrency"
+    alias_of: str | None = None  # historical ID served by another rule
+
+
+RULES: dict[str, Rule] = {rule.code: rule for rule in (
+    # -- per-module repository invariants (repro lint) ---------------------
+    Rule("L000", Severity.ERROR,
+         "source file failed to parse", "lint"),
+    Rule("L001", Severity.ERROR,
+         "wall-clock call outside obs/timing.py", "lint"),
+    Rule("L002", Severity.ERROR,
+         "bare Lock.acquire() without 'with'", "lint"),
+    Rule("L003", Severity.ERROR,
+         "unguarded attribute write to a thread-shared class",
+         "lint", alias_of="CONC101"),
+    Rule("L004", Severity.ERROR,
+         "unseeded randomness in core paths", "lint"),
+    Rule("L005", Severity.ERROR,
+         "source fault silently swallowed (except ...: pass)", "lint"),
+    Rule("L006", Severity.ERROR,
+         "per-row dispatch inside the vectorized batch path", "lint"),
+    Rule("L007", Severity.ERROR,
+         "direct file mutation outside storage/durable and obs", "lint"),
+    Rule("L008", Severity.ERROR,
+         "unguarded shared-state write inside a thread-entry worker",
+         "lint", alias_of="CONC101"),
+    # -- whole-program concurrency rules (repro race) ----------------------
+    Rule("CONC000", Severity.ERROR,
+         "source file failed to parse", "concurrency"),
+    Rule("CONC101", Severity.ERROR,
+         "unguarded shared-state write reachable from a thread entry",
+         "concurrency"),
+    Rule("CONC102", Severity.ERROR,
+         "unguarded module-global write reachable from a thread entry",
+         "concurrency"),
+    Rule("CONC201", Severity.ERROR,
+         "lock-order cycle (potential deadlock)", "concurrency"),
+    Rule("CONC202", Severity.WARNING,
+         "lock held across a blocking or latency-charging call",
+         "concurrency"),
+)}
+
+
+def rules_for(domain: str) -> dict[str, Rule]:
+    """The catalog slice one pass owns (aliases stay with lint)."""
+    return {code: rule for code, rule in RULES.items()
+            if rule.domain == domain}
+
+
+def severity_of(code: str) -> Severity:
+    """Severity of *code*; unknown codes are errors (fail closed)."""
+    rule = RULES.get(code)
+    return rule.severity if rule is not None else Severity.ERROR

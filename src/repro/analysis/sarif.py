@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 serialization shared by ``repro lint`` / ``race`` / ``check``.
+
+One serializer for every static pass: it takes the common
+:class:`~repro.analysis.diag.Diagnostic` vocabulary and produces a
+single-run SARIF log whose rule metadata comes from the shared
+:mod:`~repro.analysis.registry` catalog (codes outside the catalog —
+the DTQL ``D``-codes — get their metadata synthesized from the first
+diagnostic carrying them).  CI uploads the output as a code-scanning
+artifact, so the shape follows the 2.1.0 schema: ``runs[0].tool.driver``
+declares the rules, each result points back by ``ruleIndex``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.diag import Diagnostic, Severity
+from repro.analysis.registry import RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rule_entry(code: str, witness: Diagnostic) -> dict:
+    rule = RULES.get(code)
+    summary = rule.summary if rule is not None else witness.message
+    severity = rule.severity if rule is not None else witness.severity
+    return {
+        "id": code,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": _LEVELS[severity]},
+    }
+
+
+def _result(diagnostic: Diagnostic, rule_index: dict[str, int]) -> dict:
+    text = diagnostic.message
+    if diagnostic.hint:
+        text = f"{text} (hint: {diagnostic.hint})"
+    result = {
+        "ruleId": diagnostic.code,
+        "ruleIndex": rule_index[diagnostic.code],
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": text},
+    }
+    if diagnostic.file is not None:
+        region = {"startLine": max(diagnostic.line or 1, 1)}
+        result["locations"] = [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": diagnostic.file},
+                "region": region,
+            },
+        }]
+    return result
+
+
+def sarif_log(diagnostics: Iterable[Diagnostic],
+              tool: str = "repro") -> dict:
+    """A single-run SARIF 2.1.0 log for *diagnostics*."""
+    ordered = list(diagnostics)
+    witnesses: dict[str, Diagnostic] = {}
+    for diagnostic in ordered:
+        witnesses.setdefault(diagnostic.code, diagnostic)
+    codes = sorted(witnesses)
+    rule_index = {code: position for position, code in enumerate(codes)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool,
+                    "rules": [_rule_entry(code, witnesses[code])
+                              for code in codes],
+                },
+            },
+            "results": [_result(diagnostic, rule_index)
+                        for diagnostic in ordered],
+        }],
+    }
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic],
+                 tool: str = "repro") -> str:
+    """The SARIF log as pretty-printed JSON (the CLI's ``--sarif``)."""
+    return json.dumps(sarif_log(diagnostics, tool=tool),
+                      indent=2, sort_keys=True)

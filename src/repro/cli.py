@@ -16,6 +16,9 @@ Offers the zero-code tour of the system:
 * ``export``  — write the world as FASTA / Newick / SMILES / CSV;
 * ``check``   — static semantic analysis of DTQL (no world is built);
 * ``lint``    — repository invariant lint rules over Python sources;
+* ``race``    — whole-program concurrency analysis: lock-order
+  cycles, unguarded thread-reachable writes, locks held across
+  blocking calls (with baseline + SARIF output);
 * ``chaos``   — replay a mobile tap session under a seeded fault
   scenario with circuit breakers, deadlines, and degradation on;
 * ``bench``   — run experiment benchmark modules that expose
@@ -451,6 +454,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     analyzer = SemanticAnalyzer()
     reports = [(dtql, analyzer.check(dtql)) for dtql in queries]
     failed = any(report.errors for _, report in reports)
+    if args.sarif:
+        from repro.analysis import render_sarif
+
+        print(render_sarif(
+            [d for _, report in reports for d in report.diagnostics],
+            tool="repro-check"))
+        return 1 if failed else 0
     if args.json:
         print(json.dumps(
             [{"query": dtql, **report.as_dict()}
@@ -468,13 +478,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.analysis import LINT_RULES, lint_paths
+    from repro.analysis import LINT_RULES, lint_paths, render_sarif
 
     if args.rules:
         for code, description in sorted(LINT_RULES.items()):
             print(f"{code}  {description}")
         return 0
     diagnostics = lint_paths(args.paths)
+    if args.sarif:
+        print(render_sarif(diagnostics, tool="repro-lint"))
+        return 1 if diagnostics else 0
     if args.json:
         print(json.dumps([d.as_dict() for d in diagnostics],
                          indent=2, sort_keys=True))
@@ -485,6 +498,56 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     print(f"-- {len(diagnostics)} violation(s) in "
           f"{', '.join(args.paths)}")
     return 1 if diagnostics else 0
+
+
+def _cmd_race(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        CONC_RULES,
+        analyze_paths,
+        load_baseline,
+        render_baseline,
+        render_sarif,
+    )
+
+    if args.rules:
+        for code, rule in sorted(CONC_RULES.items()):
+            print(f"{code}  [{rule.severity.value}]  {rule.summary}")
+        return 0
+    baseline = load_baseline(args.baseline) \
+        if args.baseline is not None else None
+    result = analyze_paths(args.paths, baseline=baseline)
+    if args.update_baseline:
+        # Printed, never written: the developer reviews the proposed
+        # suppressions, fills in justifications, and commits the file.
+        print(render_baseline(result))
+        return 0
+    if args.sarif:
+        print(render_sarif(result.diagnostics, tool="repro-race"))
+        return 1 if result.findings else 0
+    if args.json:
+        print(json.dumps({
+            "findings": [{
+                "code": f.code, "message": f.message, "file": f.file,
+                "line": f.line, "key": f.key, "hint": f.hint,
+            } for f in result.findings],
+            "baselined": [{
+                "code": f.code, "key": f.key, "justification": why,
+            } for f, why in result.baselined],
+        }, indent=2, sort_keys=True))
+        return 1 if result.findings else 0
+    for finding in result.findings:
+        print(f"{finding.file}:{finding.line}: "
+              f"{finding.code} {finding.message}")
+        if finding.hint:
+            print(f"    hint: {finding.hint}")
+    program = result.program
+    print(f"-- {len(result.findings)} finding(s) in "
+          f"{', '.join(args.paths)} "
+          f"({len(result.baselined)} baselined; "
+          f"{len(program.entries)} thread entries, "
+          f"{len(program.reachable)} reachable functions, "
+          f"{len(program.locks)} locks)")
+    return 1 if result.findings else 0
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -869,6 +932,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="markdown file whose ```sql blocks to check")
     check.add_argument("--json", action="store_true",
                        help="emit machine-readable diagnostics")
+    check.add_argument("--sarif", action="store_true",
+                       help="emit a SARIF 2.1.0 log")
     check.set_defaults(handler=_cmd_check)
 
     chaos = commands.add_parser(
@@ -898,9 +963,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="files or directories (default: src)")
     lint.add_argument("--json", action="store_true",
                       help="emit machine-readable diagnostics")
+    lint.add_argument("--sarif", action="store_true",
+                      help="emit a SARIF 2.1.0 log")
     lint.add_argument("--rules", action="store_true",
                       help="list the rules and exit")
     lint.set_defaults(handler=_cmd_lint)
+
+    race = commands.add_parser(
+        "race",
+        help="whole-program concurrency analysis (CONC rules)")
+    race.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories (default: src)")
+    race.add_argument("--json", action="store_true",
+                      help="emit machine-readable findings")
+    race.add_argument("--sarif", action="store_true",
+                      help="emit a SARIF 2.1.0 log")
+    race.add_argument("--baseline", default=None,
+                      help="baseline file (default: discovered by "
+                           "walking up from the analyzed paths)")
+    race.add_argument("--update-baseline", action="store_true",
+                      help="print a baseline covering every current "
+                           "finding (review, justify, commit)")
+    race.add_argument("--rules", action="store_true",
+                      help="list the rules and exit")
+    race.set_defaults(handler=_cmd_race)
 
     bench = commands.add_parser(
         "bench",

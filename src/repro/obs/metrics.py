@@ -32,36 +32,46 @@ DEFAULT_SIZE_BUCKETS = (
 
 
 class Counter:
-    """Monotonically increasing value."""
+    """Monotonically increasing value.
 
-    __slots__ = ("name", "value")
+    Instruments are shared across scheduler worker threads, so every
+    mutation holds the instrument's lock: an unguarded ``+=`` is a
+    read-modify-write that drops increments under contention.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ObservabilityError(
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that goes up and down (current sessions, cache entries)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float = 0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -74,7 +84,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "buckets", "counts", "overflow",
-                 "count", "total", "minimum", "maximum")
+                 "count", "total", "minimum", "maximum", "_lock")
 
     def __init__(self, name: str,
                  buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S,
@@ -96,19 +106,21 @@ class Histogram:
         self.total = 0.0
         self.minimum: float | None = None
         self.maximum: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         position = bisect_left(self.buckets, value)
-        if position == len(self.buckets):
-            self.overflow += 1
-        else:
-            self.counts[position] += 1
-        self.count += 1
-        self.total += value
-        if self.minimum is None or value < self.minimum:
-            self.minimum = value
-        if self.maximum is None or value > self.maximum:
-            self.maximum = value
+        with self._lock:
+            if position == len(self.buckets):
+                self.overflow += 1
+            else:
+                self.counts[position] += 1
+            self.count += 1
+            self.total += value
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
 
     @property
     def mean(self) -> float:

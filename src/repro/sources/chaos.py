@@ -21,6 +21,7 @@ zero-overhead happy path).
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 
 from repro.errors import SourceError, SourceUnavailableError
@@ -224,12 +225,17 @@ class ChaosSource(SourceWrapper):
         self.schedule = schedule
         self.timeout_s = timeout_s
         self.chaos_stats = ChaosStats()
+        # Scheduler workers hit the same wrapper concurrently; stats
+        # increments are read-modify-writes and need the guard.  Clock
+        # charges stay outside it so waiters never pay for advances.
+        self._chaos_lock = threading.Lock()
 
     # -- fault application ------------------------------------------------
 
     def _fail(self, reason: str) -> None:
-        self.chaos_stats.injected_failures += 1
-        self.chaos_stats.injected_latency_s += self.timeout_s
+        with self._chaos_lock:
+            self.chaos_stats.injected_failures += 1
+            self.chaos_stats.injected_latency_s += self.timeout_s
         metrics = get_metrics()
         metrics.counter(f"chaos.injected_failures.{self.name}").inc()
         # A timeout is paid for: the client waited before giving up.
@@ -240,7 +246,8 @@ class ChaosSource(SourceWrapper):
 
     def _guarded(self, call):
         """Apply the schedule's effect at now() around one delegate."""
-        self.chaos_stats.calls += 1
+        with self._chaos_lock:
+            self.chaos_stats.calls += 1
         effect = self.schedule.effect_at(self.clock.now())
         if effect.clean:
             return call()
@@ -251,8 +258,9 @@ class ChaosSource(SourceWrapper):
             if self.schedule.draw_failure(effect.failure_rate):
                 self._fail("dropped the request (error burst)")
             if effect.extra_latency_s:
-                self.chaos_stats.injected_latency_s += \
-                    effect.extra_latency_s
+                with self._chaos_lock:
+                    self.chaos_stats.injected_latency_s += \
+                        effect.extra_latency_s
                 get_metrics().counter(
                     f"chaos.injected_latency_s.{self.name}"
                 ).inc(effect.extra_latency_s)
@@ -262,7 +270,8 @@ class ChaosSource(SourceWrapper):
                 result = call()
                 slowdown = ((self.clock.now() - started)
                             * (effect.latency_factor - 1.0))
-                self.chaos_stats.injected_latency_s += slowdown
+                with self._chaos_lock:
+                    self.chaos_stats.injected_latency_s += slowdown
                 self.clock.advance(slowdown)
                 return result
             return call()

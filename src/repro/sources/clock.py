@@ -166,33 +166,44 @@ class ParallelRegion:
         return max(0.0, self.sequential_s - self.elapsed_s)
 
     def task(self) -> TaskTimeline:
-        """A new task timeline (enter it on the thread running the task)."""
-        if not self._active:
-            raise SourceError("task() outside an open parallel region")
-        timeline = TaskTimeline(self._clock, self.started_at)
+        """A new task timeline (enter it on the thread running the task).
+
+        Reads ``_active``/``started_at`` under ``_tasks_lock``: workers
+        call this while the opener may be in ``__enter__``/``__exit__``,
+        and the lock is what publishes the region state to them.
+        """
         with self._tasks_lock:
+            if not self._active:
+                raise SourceError("task() outside an open parallel region")
+            timeline = TaskTimeline(self._clock, self.started_at)
             self._tasks.append(timeline)
         return timeline
 
     def __enter__(self) -> "ParallelRegion":
-        self.started_at = self._clock.now()
-        self._active = True
+        # Read the clock before taking the lock: now() may touch the
+        # clock's own RLock, and nesting it under _tasks_lock would add
+        # a _tasks_lock -> clock._lock edge to the global lock order.
+        started = self._clock.now()
+        with self._tasks_lock:
+            self.started_at = started
+            self._active = True
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._active = False
         with self._tasks_lock:
+            self._active = False
             ends = [timeline.now() for timeline in self._tasks]
             self.sequential_s = sum(
                 timeline.elapsed for timeline in self._tasks
             )
-        joined = max(ends, default=self.started_at)
-        if joined < self.started_at:
-            raise SourceError(
-                "parallel region would move time backwards "
-                f"({joined:.6f} < {self.started_at:.6f})"
-            )
-        self.elapsed_s = joined - self.started_at
+            started = self.started_at
+            joined = max(ends, default=started)
+            if joined < started:
+                raise SourceError(
+                    "parallel region would move time backwards "
+                    f"({joined:.6f} < {started:.6f})"
+                )
+            self.elapsed_s = joined - started
         # Advance the opener's context (outer task timeline, or the
         # global clock) to the join point; clamp at zero so time never
         # runs backwards even if the opener advanced meanwhile.

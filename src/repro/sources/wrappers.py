@@ -210,6 +210,9 @@ class PrefetchingSource(SourceWrapper):
         self.predictor = predictor
         self.max_prefetch = max_prefetch
         self.prefetched_keys = 0
+        # Concurrent scheduler pages share this wrapper; the stat
+        # increment is a read-modify-write and needs the guard.
+        self._stats_lock = threading.Lock()
 
     def fetch_many(self, kind: str,
                    keys: Iterable[str]) -> dict[str, object]:
@@ -232,7 +235,8 @@ class PrefetchingSource(SourceWrapper):
                         break
                 if len(predictions) >= self.max_prefetch:
                     break
-            self.prefetched_keys += len(predictions)
+            with self._stats_lock:
+                self.prefetched_keys += len(predictions)
             if predictions:
                 get_metrics().counter(
                     f"source_prefetch.keys.{self.name}"
@@ -272,6 +276,9 @@ class RetryingSource(SourceWrapper):
         self.max_rate_limit_waits = max_rate_limit_waits
         self.retries = 0
         self.rate_limit_waits = 0
+        # Shared across scheduler workers; guards the stat increments
+        # (never held across the delegate call or a clock charge).
+        self._stats_lock = threading.Lock()
 
     def _with_retries(self, call):
         """Run *call* under the retry/rate-limit policy (shared by
@@ -285,7 +292,8 @@ class RetryingSource(SourceWrapper):
                 attempts += 1
                 if attempts >= self.max_attempts:
                     raise
-                self.retries += 1
+                with self._stats_lock:
+                    self.retries += 1
                 get_metrics().counter(
                     f"source_retry.retries.{self.name}"
                 ).inc()
@@ -297,7 +305,8 @@ class RetryingSource(SourceWrapper):
                 rate_waits += 1
                 if rate_waits > self.max_rate_limit_waits:
                     raise
-                self.rate_limit_waits += 1
+                with self._stats_lock:
+                    self.rate_limit_waits += 1
                 get_metrics().counter(
                     f"source_retry.rate_limit_waits.{self.name}"
                 ).inc()

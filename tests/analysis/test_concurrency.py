@@ -1,0 +1,544 @@
+"""Fixture tests for the whole-program concurrency analyzer.
+
+Each fixture seeds one violation shape — a lock-order cycle, an
+unguarded cross-thread write, a reentrant re-acquire, a worker reached
+through a closure factory — and asserts the exact rule ID, file, and
+line the analyzer reports, plus the suppression machinery (``# noqa``,
+baseline files, stable keys) around it.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.concurrency import (
+    Baseline,
+    analyze_paths,
+    analyze_sources,
+    load_baseline,
+    render_baseline,
+)
+from repro.analysis.diag import Severity
+
+PATH = "src/repro/example.py"
+
+
+def analyze(*sources, baseline=None):
+    """Analyze fixture sources: bare strings or (path, source) pairs."""
+    named = []
+    for entry in sources:
+        path, text = entry if isinstance(entry, tuple) else (PATH, entry)
+        named.append((path, textwrap.dedent(text)))
+    return analyze_sources(named, baseline)
+
+
+def codes(result):
+    return [finding.code for finding in result.findings]
+
+
+class TestLockOrderGraph:
+    def test_opposite_order_cycle_flagged(self):
+        result = analyze("""\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._alpha_lock = threading.Lock()
+                    self._beta_lock = threading.Lock()
+
+                def forward(self):
+                    with self._alpha_lock:
+                        with self._beta_lock:
+                            pass
+
+                def backward(self):
+                    with self._beta_lock:
+                        with self._alpha_lock:
+                            pass
+        """)
+        assert codes(result) == ["CONC201"]
+        finding = result.findings[0]
+        assert finding.key.startswith("cycle:")
+        assert "_alpha_lock" in finding.message
+        assert "_beta_lock" in finding.message
+        assert "opposite order" in finding.message
+        assert finding.file == PATH
+
+    def test_consistent_order_passes(self):
+        result = analyze("""\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._alpha_lock = threading.Lock()
+                    self._beta_lock = threading.Lock()
+
+                def forward(self):
+                    with self._alpha_lock:
+                        with self._beta_lock:
+                            pass
+
+                def also_forward(self):
+                    with self._alpha_lock:
+                        with self._beta_lock:
+                            pass
+        """)
+        assert codes(result) == []
+
+    def test_interprocedural_cycle_flagged(self):
+        # Neither function nests two `with` blocks; the opposite
+        # orders only exist across the call graph.
+        result = analyze("""\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._alpha_lock = threading.Lock()
+                    self._beta_lock = threading.Lock()
+
+                def forward(self):
+                    with self._alpha_lock:
+                        self._take_beta()
+
+                def _take_beta(self):
+                    with self._beta_lock:
+                        pass
+
+                def backward(self):
+                    with self._beta_lock:
+                        self._take_alpha()
+
+                def _take_alpha(self):
+                    with self._alpha_lock:
+                        pass
+        """)
+        assert codes(result) == ["CONC201"]
+        assert result.findings[0].key.startswith("cycle:")
+
+    def test_self_deadlock_on_plain_lock(self):
+        result = analyze("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._box_lock = threading.Lock()
+
+                def outer(self):
+                    with self._box_lock:
+                        with self._box_lock:
+                            pass
+        """)
+        assert codes(result) == ["CONC201"]
+        finding = result.findings[0]
+        assert finding.key.startswith("self:")
+        assert "self-deadlock" in finding.message
+        assert finding.line == 9
+
+    def test_rlock_reentrancy_is_fine(self):
+        # The identical shape with an RLock is legal reentrancy.
+        result = analyze("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._box_lock = threading.RLock()
+
+                def outer(self):
+                    with self._box_lock:
+                        with self._box_lock:
+                            pass
+        """)
+        assert codes(result) == []
+
+    def test_interprocedural_self_deadlock(self):
+        # The re-acquire happens in a callee; only the entry-held
+        # fixpoint can see the lock is already held on entry.
+        result = analyze("""\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._box_lock = threading.Lock()
+
+                def outer(self):
+                    with self._box_lock:
+                        self.inner()
+
+                def inner(self):
+                    with self._box_lock:
+                        pass
+        """)
+        assert codes(result) == ["CONC201"]
+        assert "Box.inner" in result.findings[0].message
+
+
+class TestSharedStateWrites:
+    def test_unguarded_write_exact_span(self):
+        result = analyze("""\
+            class Sink:
+                def push(self, item):
+                    self.last = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.push, 1)
+        """)
+        assert codes(result) == ["CONC101"]
+        finding = result.findings[0]
+        assert finding.file == PATH
+        assert finding.line == 3
+        assert finding.key == "repro.example.Sink.push:last"
+
+    def test_module_global_write_flagged(self):
+        result = analyze("""\
+            TOTAL = 0
+
+            def bump():
+                global TOTAL
+                TOTAL += 1
+
+            def fan_out(pool):
+                pool.submit(bump)
+        """)
+        assert codes(result) == ["CONC102"]
+        # Anchored at the `global` declaration, the point of intent.
+        assert result.findings[0].line == 4
+        assert "TOTAL" in result.findings[0].message
+
+    def test_guarded_write_passes(self):
+        result = analyze("""\
+            import threading
+
+            class Sink:
+                def __init__(self):
+                    self._sink_lock = threading.Lock()
+
+                def push(self, item):
+                    with self._sink_lock:
+                        self.last = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.push, 1)
+        """)
+        assert codes(result) == []
+
+    def test_caller_lock_dominates(self):
+        # The write itself is bare, but every path into it holds the
+        # lock — the must-intersection fixpoint proves the guard.
+        result = analyze("""\
+            import threading
+
+            class Sink:
+                def __init__(self):
+                    self._sink_lock = threading.Lock()
+
+                def push(self, item):
+                    with self._sink_lock:
+                        self._store(item)
+
+                def _store(self, item):
+                    self.last = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.push, 1)
+        """)
+        assert codes(result) == []
+
+    def test_one_bare_path_defeats_domination(self):
+        result = analyze("""\
+            import threading
+
+            class Sink:
+                def __init__(self):
+                    self._sink_lock = threading.Lock()
+
+                def push(self, item):
+                    with self._sink_lock:
+                        self._store(item)
+
+                def push_fast(self, item):
+                    self._store(item)
+
+                def _store(self, item):
+                    self.last = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.push, 1)
+                pool.submit(sink.push_fast, 2)
+        """)
+        assert codes(result) == ["CONC101"]
+        assert "Sink._store" in result.findings[0].message
+
+    def test_unreachable_write_not_flagged(self):
+        result = analyze("""\
+            class Sink:
+                def push(self, item):
+                    self.last = item
+        """)
+        assert codes(result) == []
+
+
+class TestEntryInference:
+    def test_submit_registers_entry(self):
+        result = analyze("""\
+            def worker(chunk):
+                return chunk
+
+            def fan_out(pool, chunks):
+                for chunk in chunks:
+                    pool.submit(worker, chunk)
+        """)
+        assert "repro.example.worker" in result.program.entries
+
+    def test_imap_ordered_registers_entry(self):
+        result = analyze("""\
+            def worker(chunk):
+                return chunk
+
+            def fan_out(pool, chunks):
+                return list(pool.imap_ordered(worker, chunks))
+        """)
+        assert "repro.example.worker" in result.program.entries
+
+    def test_thread_target_registers_entry(self):
+        result = analyze("""\
+            import threading
+
+            def worker():
+                pass
+
+            def spawn():
+                thread = threading.Thread(target=worker)
+                thread.start()
+                return thread
+        """)
+        assert "repro.example.worker" in result.program.entries
+
+    def test_task_region_body_is_entry(self):
+        result = analyze("""\
+            def run(region, chunk):
+                with region.task():
+                    return len(chunk)
+        """)
+        assert "repro.example.run" in result.program.entries
+
+    def test_factory_closure_becomes_entry(self):
+        # submit(make_worker(x)) registers the *returned* closure.
+        result = analyze("""\
+            def make_worker(sink):
+                def work(chunk):
+                    sink[id(chunk)] = len(chunk)
+                return work
+
+            def fan_out(pool, sink, chunks):
+                for chunk in chunks:
+                    pool.submit(make_worker(sink), chunk)
+        """)
+        entries = result.program.entries
+        assert "repro.example.make_worker.<locals>.work" in entries
+        assert codes(result) == ["CONC101"]
+        assert result.findings[0].line == 3
+
+    def test_cross_module_entry(self):
+        # Worker defined in one module, submitted from another.
+        result = analyze(
+            ("src/repro/workers.py", """\
+                class Tally:
+                    def bump(self):
+                        self.count += 1
+            """),
+            ("src/repro/driver.py", """\
+                from repro.workers import Tally
+
+                def fan_out(pool):
+                    tally = Tally()
+                    pool.submit(tally.bump)
+            """),
+        )
+        assert codes(result) == ["CONC101"]
+        finding = result.findings[0]
+        assert finding.file == "src/repro/workers.py"
+        assert finding.line == 3
+
+
+class TestHeldAcrossBlocking:
+    def test_lock_across_fetch_flagged(self):
+        result = analyze("""\
+            import threading
+
+            class Cache:
+                def __init__(self, source):
+                    self._cache_lock = threading.Lock()
+                    self._source = source
+
+                def get(self, key):
+                    with self._cache_lock:
+                        return self._source.fetch(key)
+        """)
+        assert codes(result) == ["CONC202"]
+        finding = result.findings[0]
+        assert finding.line == 10
+        assert "fetch" in finding.message
+        assert finding.to_diagnostic().severity is Severity.WARNING
+
+    def test_transitively_blocking_callee_flagged(self):
+        # The lock is held across a helper that (indirectly) sleeps.
+        result = analyze("""\
+            import threading
+
+            class Cache:
+                def __init__(self, clock):
+                    self._cache_lock = threading.Lock()
+                    self._clock = clock
+
+                def get(self, key):
+                    with self._cache_lock:
+                        self._pause()
+                        return key
+
+                def _pause(self):
+                    self._clock.sleep(0.01)
+        """)
+        assert codes(result) == ["CONC202"]
+        assert "_pause" in result.findings[0].message
+
+    def test_string_join_under_lock_is_not_blocking(self):
+        # `"; ".join(...)` shares a name with Thread.join; a constant
+        # receiver proves it is a string operation, not a wait.
+        result = analyze("""\
+            import threading
+
+            class Report:
+                def __init__(self):
+                    self._report_lock = threading.Lock()
+
+                def render(self, parts):
+                    with self._report_lock:
+                        self.text = "; ".join(parts)
+        """)
+        assert codes(result) == []
+
+    def test_blocking_outside_lock_passes(self):
+        result = analyze("""\
+            import threading
+
+            class Cache:
+                def __init__(self, source):
+                    self._cache_lock = threading.Lock()
+                    self._source = source
+
+                def get(self, key):
+                    value = self._source.fetch(key)
+                    with self._cache_lock:
+                        self.last = value
+                    return value
+        """)
+        assert codes(result) == []
+
+
+class TestSuppression:
+    RACY = """\
+        class Sink:
+            def push(self, item):
+                self.last = item
+
+        def fan_out(pool, sink):
+            pool.submit(sink.push, 1)
+    """
+
+    def test_noqa_conc_code(self):
+        source = self.RACY.replace("self.last = item",
+                                   "self.last = item  # noqa: CONC101")
+        assert codes(analyze(source)) == []
+
+    def test_noqa_lint_alias(self):
+        # The historical lint ID keeps working on the same line.
+        source = self.RACY.replace("self.last = item",
+                                   "self.last = item  # noqa: L003")
+        assert codes(analyze(source)) == []
+
+    def test_bare_noqa(self):
+        source = self.RACY.replace("self.last = item",
+                                   "self.last = item  # noqa")
+        assert codes(analyze(source)) == []
+
+    def test_unrelated_noqa_does_not_suppress(self):
+        source = self.RACY.replace("self.last = item",
+                                   "self.last = item  # noqa: L001")
+        assert codes(analyze(source)) == ["CONC101"]
+
+
+class TestBaseline:
+    RACY = TestSuppression.RACY
+
+    def test_baseline_suppresses_by_stable_key(self):
+        baseline = Baseline(suppressions={
+            ("CONC101", "repro.example.Sink.push:last"):
+                "fixture: single-threaded in production",
+        })
+        result = analyze(self.RACY, baseline=baseline)
+        assert codes(result) == []
+        assert len(result.baselined) == 1
+        finding, why = result.baselined[0]
+        assert finding.code == "CONC101"
+        assert why == "fixture: single-threaded in production"
+
+    def test_key_is_stable_across_line_shifts(self):
+        shifted = "# a comment\n# another\n" + textwrap.dedent(self.RACY)
+        plain = analyze(self.RACY)
+        moved = analyze_sources([(PATH, shifted)])
+        assert plain.findings[0].line != moved.findings[0].line
+        assert plain.findings[0].key == moved.findings[0].key
+
+    def test_load_rejects_missing_justification(self, tmp_path):
+        payload = {"version": 1, "suppressions": [
+            {"rule": "CONC101", "key": "x:y", "justification": ""}]}
+        path = tmp_path / "concurrency.baseline.json"
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        with pytest.raises(ValueError, match="justification"):
+            load_baseline(str(path))
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        baseline = load_baseline(str(tmp_path / "nope.json"))
+        assert baseline.suppressions == {}
+
+    def test_render_baseline_proposes_todo_entries(self):
+        result = analyze(self.RACY)
+        rendered = json.loads(render_baseline(result))
+        assert rendered["version"] == 1
+        [entry] = rendered["suppressions"]
+        assert entry["rule"] == "CONC101"
+        assert entry["key"] == "repro.example.Sink.push:last"
+        assert entry["justification"].startswith("TODO")
+
+    def test_render_baseline_keeps_existing_justifications(self):
+        baseline = Baseline(suppressions={
+            ("CONC102", "repro.old:GLOBAL"): "kept from triage",
+        })
+        result = analyze(self.RACY, baseline=baseline)
+        rendered = json.loads(render_baseline(result))
+        keyed = {(e["rule"], e["key"]): e["justification"]
+                 for e in rendered["suppressions"]}
+        assert keyed[("CONC102", "repro.old:GLOBAL")] == "kept from triage"
+        assert keyed[("CONC101", "repro.example.Sink.push:last")] \
+            .startswith("TODO")
+
+
+class TestSyntaxErrors:
+    def test_unparsable_module_reports_conc000(self):
+        result = analyze("def broken(:\n    pass\n")
+        assert codes(result) == ["CONC000"]
+        assert result.findings[0].key.startswith("syntax:")
+
+
+class TestRepoIsClean:
+    def test_source_tree_has_no_unsuppressed_findings(self):
+        # The acceptance gate: `repro race src` must come back clean,
+        # with every baselined finding carrying a real justification.
+        result = analyze_paths(["src"])
+        assert [f"{f.code} {f.file}:{f.line}" for f in result.findings] \
+            == []
+        assert result.baselined, "expected the triaged baseline to match"
+        for finding, justification in result.baselined:
+            assert justification
+            assert not justification.startswith("TODO")

@@ -90,11 +90,19 @@ class TestL002BareAcquire:
 
 
 class TestL003SharedStateWrites:
+    """L003 now rides thread reachability: a write is flagged when a
+    thread entry (``pool.submit`` / ``imap_ordered`` / ``Thread``)
+    can reach it and no lock dominates every path to it — no class
+    allowlist, no directory list."""
+
     def test_unguarded_write_flagged(self):
         found = run("""\
             class Tracer:
                 def bump(self):
                     self.dropped += 1
+
+            def fan_out(pool, tracer):
+                pool.submit(tracer.bump)
         """)
         assert codes(found) == ["L003"]
         assert "Tracer.bump" in found[0].message
@@ -105,6 +113,18 @@ class TestL003SharedStateWrites:
                 def bump(self):
                     with self._create_lock:
                         self.total = 1
+
+            def fan_out(pool, registry):
+                pool.submit(registry.bump)
+        """) == []
+
+    def test_unreachable_method_not_flagged(self):
+        # Same write as test_unguarded_write_flagged, but no thread
+        # entry reaches it: single-threaded code needs no locks.
+        assert run("""\
+            class Tracer:
+                def bump(self):
+                    self.dropped += 1
         """) == []
 
     def test_init_is_exempt(self):
@@ -112,6 +132,9 @@ class TestL003SharedStateWrites:
             class FetchScheduler:
                 def __init__(self):
                     self.pending = []
+
+            def fan_out(pool):
+                pool.submit(FetchScheduler)
         """) == []
 
     def test_thread_local_is_exempt(self):
@@ -119,30 +142,60 @@ class TestL003SharedStateWrites:
             class Tracer:
                 def reset_stack(self):
                     self._local.stack = []
+
+            def fan_out(pool, tracer):
+                pool.submit(tracer.reset_stack)
         """) == []
 
-    def test_other_classes_not_covered(self):
-        assert run("""\
-            class Counter:
-                def bump(self):
-                    self.n += 1
-        """) == []
-
-    def test_subscript_write_not_flagged(self):
-        assert run("""\
-            class CachingSource:
-                def put(self, key, value):
-                    self._cache[key] = value
-        """) == []
-
-    def test_lock_scope_does_not_leak_across_functions(self):
+    def test_reachability_crosses_calls(self):
+        # The entry never writes; a helper two calls deep does.
         found = run("""\
-            class Tracer:
-                def locked(self):
+            class Sink:
+                def record(self, item):
+                    self._note(item)
+
+                def _note(self, item):
+                    self.seen = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.record, 1)
+        """)
+        assert codes(found) == ["L003"]
+        assert "Sink._note" in found[0].message
+
+    def test_dominating_lock_on_call_path_passes(self):
+        # The helper itself takes no lock, but its only caller holds
+        # one — the interprocedural must-analysis sees the guard.
+        assert run("""\
+            class Sink:
+                def record(self, item):
                     with self._lock:
-                        def helper():
-                            self.dropped = 0
-                        helper()
+                        self._note(item)
+
+                def _note(self, item):
+                    self.seen = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.record, 1)
+        """) == []
+
+    def test_partially_guarded_path_flagged(self):
+        # One caller holds the lock, another does not: no dominator.
+        found = run("""\
+            class Sink:
+                def record(self, item):
+                    with self._lock:
+                        self._note(item)
+
+                def record_fast(self, item):
+                    self._note(item)
+
+                def _note(self, item):
+                    self.seen = item
+
+            def fan_out(pool, sink):
+                pool.submit(sink.record, 1)
+                pool.submit(sink.record_fast, 2)
         """)
         assert codes(found) == ["L003"]
 
@@ -151,8 +204,11 @@ class TestL003SharedStateWrites:
             class Tracer:
                 def deep(self):
                     with self._lock:
-                        with open("x") as f:
+                        with self._aux("x") as f:
                             self.dropped = 0
+
+            def fan_out(pool, tracer):
+                pool.submit(tracer.deep)
         """) == []
 
 
@@ -358,42 +414,62 @@ class TestL007FileMutation:
 
 
 class TestL008MorselWorkerPurity:
+    """L008 now fires on *registered* workers — closures handed to
+    ``pool.imap_ordered`` / ``pool.submit`` — wherever they live; the
+    old morsel/fused/vectorized directory allowlist is gone."""
+
     MORSEL_PATH = "src/repro/core/query/morsel.py"
 
     def test_attribute_write_in_worker_flagged(self):
+        # A neutral path: registration, not directory, makes a worker.
         found = run("""\
             class Op:
-                def scan(self, chunks):
+                def scan(self, chunks, pool):
                     def work(chunk):
                         self.counters.rows_scanned += len(chunk)
                         return chunk
-                    return [work(c) for c in chunks]
-        """, path=self.MORSEL_PATH)
+                    return list(pool.imap_ordered(work, chunks))
+        """, path="src/repro/core/query/physical.py")
         assert codes(found) == ["L008"]
         assert "coordinating thread" in found[0].message
 
     def test_subscript_write_in_worker_flagged(self):
         found = run("""\
-            def scan(chunks, out):
+            def scan(chunks, out, pool):
                 def work(index, chunk):
                     out[index] = len(chunk)
-                return [work(i, c) for i, c in enumerate(chunks)]
+                for index, chunk in enumerate(chunks):
+                    pool.submit(work, index, chunk)
         """, path="src/repro/core/query/fused.py")
         assert codes(found) == ["L008"]
 
     def test_nonlocal_rebinding_in_worker_flagged(self):
         found = run("""\
-            def scan(chunks):
+            def scan(chunks, pool):
                 total = 0
                 def work(chunk):
                     nonlocal total
                     total += len(chunk)
-                for chunk in chunks:
-                    work(chunk)
+                for kept in pool.imap_ordered(work, chunks):
+                    pass
                 return total
         """, path="src/repro/core/query/vectorized.py")
         assert codes(found) == ["L008"]
         assert "nonlocal" in found[0].message
+
+    def test_factory_returned_worker_flagged(self):
+        # The worker reaches the pool through a closure factory:
+        # submit(make_worker(out)) — one level of indirection.
+        found = run("""\
+            def scan(chunks, out, pool):
+                def make_worker(sink):
+                    def work(chunk):
+                        sink[id(chunk)] = len(chunk)
+                    return work
+                for chunk in chunks:
+                    pool.submit(make_worker(out), chunk)
+        """, path="src/repro/core/query/physical.py")
+        assert codes(found) == ["L008"]
 
     def test_pure_worker_passes(self):
         assert run("""\
@@ -418,21 +494,23 @@ class TestL008MorselWorkerPurity:
     def test_lock_guard_exempts_worker_write(self):
         assert run("""\
             class Op:
-                def scan(self, chunks):
+                def scan(self, chunks, pool):
                     def work(chunk):
                         with self.lock:
                             self.partials[id(chunk)] = len(chunk)
-                    return [work(c) for c in chunks]
+                    return list(pool.imap_ordered(work, chunks))
         """, path=self.MORSEL_PATH) == []
 
-    def test_other_modules_are_exempt(self):
+    def test_unregistered_closure_is_not_a_worker(self):
+        # Never submitted to a pool — runs on the caller's thread, so
+        # its writes are plain coordinator writes (even in morsel.py).
         assert run("""\
             class Op:
                 def scan(self, chunks):
                     def work(chunk):
                         self.counters.rows_scanned += len(chunk)
                     return [work(c) for c in chunks]
-        """, path="src/repro/core/query/physical.py") == []
+        """, path=self.MORSEL_PATH) == []
 
 
 class TestSuppression:

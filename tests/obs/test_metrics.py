@@ -1,6 +1,7 @@
 """MetricsRegistry: counters, gauges, histogram edges, snapshots."""
 
 import json
+import threading
 
 import pytest
 
@@ -160,3 +161,51 @@ class TestSnapshot:
         assert registry.snapshot() == {
             "counters": {}, "gauges": {}, "histograms": {},
         }
+
+
+class TestThreadSafety:
+    """Scheduler and pool workers hammer shared instruments; their
+    read-modify-write updates must not lose increments (regression
+    for the races the concurrency analyzer flagged as CONC101)."""
+
+    @staticmethod
+    def _run(threads):
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_survive_contention(self):
+        counter = MetricsRegistry().counter("hits")
+
+        def hammer():
+            for _ in range(2000):
+                counter.inc()
+
+        self._run([threading.Thread(target=hammer) for _ in range(8)])
+        assert counter.value == 16000
+
+    def test_gauge_adds_balance_out(self):
+        gauge = MetricsRegistry().gauge("inflight")
+
+        def hammer(delta):
+            for _ in range(2000):
+                gauge.add(delta)
+
+        threads = [threading.Thread(target=hammer, args=(+1,))
+                   for _ in range(4)]
+        threads += [threading.Thread(target=hammer, args=(-1,))
+                    for _ in range(4)]
+        self._run(threads)
+        assert gauge.value == 0
+
+    def test_histogram_observations_all_counted(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+
+        def hammer():
+            for step in range(1500):
+                histogram.observe((step % 5) + 0.5)
+
+        self._run([threading.Thread(target=hammer) for _ in range(6)])
+        assert histogram.count == 9000
+        assert sum(histogram.counts) + histogram.overflow == 9000

@@ -235,3 +235,49 @@ class TestScenarios:
         assert isinstance(wrapped.sources()[0], ChaosSource)
         with pytest.raises(SourceUnavailableError):
             wrapped.fetch_many("alpha", ["alpha0"])
+
+
+class TestStatsUnderContention:
+    """Scheduler pages hit one ChaosSource from many threads; the
+    injection counters are guarded (regression for lost updates)."""
+
+    def test_calls_counted_exactly_once_each(self):
+        import threading
+
+        clock = SimulatedClock()
+        chaos = ChaosSource(make_source(clock), FaultSchedule())
+
+        def hammer(base):
+            for step in range(25):
+                chaos.fetch("alpha", f"alpha{(base + step) % 20}")
+
+        threads = [threading.Thread(target=hammer, args=(base,))
+                   for base in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert chaos.chaos_stats.calls == 200
+
+    def test_injected_failures_counted_exactly_once_each(self):
+        import threading
+
+        clock = SimulatedClock()
+        chaos = ChaosSource(
+            make_source(clock),
+            FaultSchedule([Outage(0.0, 10_000.0)]),
+        )
+
+        def hammer():
+            for _ in range(25):
+                with pytest.raises(SourceUnavailableError):
+                    chaos.fetch("alpha", "alpha0")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert chaos.chaos_stats.injected_failures == 200
+        assert chaos.chaos_stats.injected_latency_s == \
+            pytest.approx(200 * chaos.timeout_s)

@@ -216,3 +216,47 @@ class TestMisuse:
             # Clean up in the correct order for the region exit.
             inner.__exit__(None, None, None)
             outer.__exit__(None, None, None)
+
+
+class TestRealThreadRegistration:
+    """ParallelRegion is driven by real worker threads in the morsel
+    pool; registration, join accounting, and the active flag are all
+    guarded by _tasks_lock (regression for raced list appends)."""
+
+    def test_tasks_register_from_worker_threads(self):
+        clock = SimulatedClock()
+        costs = [0.05 * (i + 1) for i in range(8)]
+        with clock.concurrently() as region:
+            def work(cost):
+                with region.task():
+                    clock.advance(cost)
+
+            threads = [threading.Thread(target=work, args=(cost,))
+                       for cost in costs]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert region.task_count == len(costs)
+        assert clock.now() == pytest.approx(max(costs))
+        assert region.sequential_s == pytest.approx(sum(costs))
+
+    def test_closed_region_rejects_late_workers(self):
+        clock = SimulatedClock()
+        with clock.concurrently() as region:
+            with region.task():
+                clock.advance(0.1)
+        # A straggler thread arriving after the join must be refused
+        # atomically (the _active check lives inside _tasks_lock).
+        errors = []
+
+        def straggler():
+            try:
+                region.task()
+            except SourceError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=straggler)
+        thread.start()
+        thread.join()
+        assert len(errors) == 1

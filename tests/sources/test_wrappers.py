@@ -246,3 +246,70 @@ class TestRegistry:
         registry = SourceRegistry()
         registry.register(CachingSource(_source(clock)))
         assert registry.fetch("thing", "k2") == "v2"
+
+
+class TestStatsUnderContention:
+    """Wrapper stat counters are shared across scheduler threads and
+    guarded by _stats_lock (regression for lost updates)."""
+
+    def test_prefetched_keys_counted_across_threads(self):
+        import threading
+
+        clock = SimulatedClock()
+        # Disjoint per-thread key families so every prediction is a
+        # fresh prefetch no matter how the threads interleave.
+        tables = {"thing": {f"t{i}{suffix}": "v"
+                            for i in range(8) for suffix in "abc"}}
+        inner = TableBackedSource("inner", clock, tables, latency=EXACT)
+
+        def predict(kind, key):
+            return [f"{key[:-1]}b", f"{key[:-1]}c"]
+
+        prefetching = PrefetchingSource(inner, predict)
+
+        def hammer(i):
+            prefetching.fetch("thing", f"t{i}a")
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert prefetching.prefetched_keys == 16
+
+    def test_retries_counted_across_threads(self):
+        import threading
+
+        class FlakyOnce(TableBackedSource):
+            """Fails the first attempt for every distinct key set."""
+
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self._seen = set()
+                self._flaky_lock = threading.Lock()
+
+            def fetch_many(self, kind, keys):
+                key_list = tuple(keys)
+                with self._flaky_lock:
+                    first = key_list not in self._seen
+                    self._seen.add(key_list)
+                if first:
+                    raise SourceUnavailableError("flaky first attempt")
+                return super().fetch_many(kind, key_list)
+
+        clock = SimulatedClock()
+        tables = {"thing": {f"k{i}": f"v{i}" for i in range(8)}}
+        inner = FlakyOnce("inner", clock, tables, latency=EXACT)
+        retrying = RetryingSource(inner, max_attempts=3)
+
+        def hammer(i):
+            assert retrying.fetch("thing", f"k{i}") == f"v{i}"
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert retrying.retries == 8
