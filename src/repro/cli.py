@@ -44,7 +44,7 @@ import sys
 from collections.abc import Sequence
 
 from repro import obs
-from repro.core import NaiveEngine, QueryEngine
+from repro.core import EngineConfig, NaiveEngine, QueryEngine
 from repro.errors import DrugTreeError
 from repro.sources import KIND_ANNOTATION, KIND_PROTEIN, FetchScheduler
 from repro.mobile import (
@@ -197,6 +197,36 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             (KIND_ANNOTATION, visible),
             (KIND_PROTEIN, visible),
         ])
+        # A short sharded-cluster phase with one node crashed: the
+        # per-node breakers publish their state gauges
+        # (breaker.state.cluster.replica@node-N) into the same snapshot.
+        from repro.cluster import (
+            ClusterConfig,
+            ClusterEngine,
+            NodeCrash,
+            NodeFaultSchedule,
+        )
+        from repro.sources import BreakerConfig as _BreakerConfig
+        cluster_engine = ClusterEngine.from_drugtree(
+            drugtree,
+            cluster_config=ClusterConfig(nodes=4, partitions=3,
+                                         replication_factor=2,
+                                         read_quorum=1),
+            clock=dataset.clock,
+            breaker_config=_BreakerConfig(failure_threshold=2,
+                                          reset_timeout_s=300.0),
+        )
+        crash_start = dataset.clock.now()
+        cluster_engine.router.cluster.set_schedule(NodeFaultSchedule((
+            NodeCrash("node-0", crash_start, crash_start + 600.0),
+        )))
+        cluster_engine.execute("SELECT count(*) FROM bindings")
+        cluster_engine.execute(
+            f"SELECT count(*) FROM bindings IN SUBTREE '{clade}'"
+        )
+        cluster_engine.execute(
+            "SELECT protein_id FROM proteins WHERE leaf_pre < 4"
+        )
         # Publish the statistics-staleness gauge alongside the rest.
         drugtree.stale_tables()
 
@@ -550,12 +580,34 @@ def _cmd_race(args: argparse.Namespace) -> int:
     return 1 if result.findings else 0
 
 
+def _known_chaos_scenarios() -> tuple[str, ...]:
+    from repro.cluster import NODE_SCENARIOS
+    from repro.sources.chaos import SCENARIOS
+
+    return tuple(SCENARIOS) + tuple(NODE_SCENARIOS)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    import difflib
+
+    from repro.cluster import NODE_SCENARIOS
     from repro.sources import (
         BreakerConfig,
         scenario_schedules,
         wrap_registry,
     )
+
+    known = _known_chaos_scenarios()
+    if args.scenario not in known:
+        suggestions = difflib.get_close_matches(args.scenario, known,
+                                                n=1, cutoff=0.5)
+        hint = (f"; did you mean {suggestions[0]!r}?"
+                if suggestions else "")
+        print(f"error: unknown chaos scenario {args.scenario!r}{hint}\n"
+              f"known scenarios: {', '.join(known)}", file=sys.stderr)
+        return 2
+    if args.scenario in NODE_SCENARIOS:
+        return _run_node_chaos(args)
 
     with _fresh_observability() as metrics:
         dataset = _build_world(args)
@@ -629,6 +681,271 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "scheduler": scheduler.stats.snapshot(),
                 "counters": metrics.snapshot()["counters"],
             }, indent=2, sort_keys=True))
+    return 0
+
+
+def _run_node_chaos(args: argparse.Namespace) -> int:
+    """Replay queries through the cluster router under node faults."""
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterEngine,
+        node_scenario_schedule,
+    )
+    from repro.sources import BreakerConfig
+    from repro.workloads import QueryGenerator
+    from repro.workloads.queries import ALL_KINDS
+
+    with _fresh_observability() as metrics:
+        dataset = _build_world(args)
+        tracer = obs.Tracer(clock=dataset.clock)
+        obs.set_tracer(tracer)
+        drugtree = dataset.drugtree()
+        engine = ClusterEngine.from_drugtree(
+            drugtree,
+            cluster_config=ClusterConfig(
+                nodes=args.nodes,
+                partitions=args.partitions,
+                replication_factor=args.rf,
+                read_quorum=args.read_quorum,
+            ),
+            clock=dataset.clock,
+            breaker_config=BreakerConfig(
+                failure_threshold=args.breaker_threshold,
+                reset_timeout_s=args.breaker_reset_s,
+            ),
+        )
+        router = engine.router
+        schedule = node_scenario_schedule(
+            args.scenario, router.cluster.node_ids, seed=args.seed,
+        ).shifted(dataset.clock.now())
+        router.cluster.set_schedule(schedule)
+
+        generator = QueryGenerator(dataset.family, dataset.ligands,
+                                   seed=args.seed)
+        outcomes = {"answered": 0, "late": 0, "failed": 0}
+        for tap in range(args.taps):
+            kind = ALL_KINDS[tap % len(ALL_KINDS)]
+            started = dataset.clock.now()
+            try:
+                engine.execute(generator.draw(kind),
+                               deadline=args.deadline)
+            except DrugTreeError:
+                outcomes["failed"] += 1
+            else:
+                elapsed = dataset.clock.now() - started
+                if elapsed <= args.deadline:
+                    outcomes["answered"] += 1
+                else:
+                    outcomes["late"] += 1
+            dataset.clock.advance(args.think_s)
+
+        # Heal: run past the fault horizon, replay hints, repair.
+        horizon = schedule.horizon_s()
+        if dataset.clock.now() < horizon:
+            dataset.clock.advance(horizon - dataset.clock.now() + 1.0)
+        router.drain_hints()
+        repair = router.anti_entropy()
+
+        answered = outcomes["answered"]
+        print(f"scenario {args.scenario!r}, seed {args.seed}: "
+              f"{args.taps} taps over "
+              f"{dataset.clock.now():.0f}s virtual "
+              f"(rf={args.rf}, r={args.read_quorum})")
+        for line in schedule.describe():
+            print(f"-- fault: {line}")
+        table = TextTable(["outcome", "taps"])
+        for name, count in outcomes.items():
+            table.add_row(name, count)
+        print(table.render())
+        stats = router.stats
+        print(f"-- answered {answered}/{args.taps} "
+              f"({answered / args.taps:.0%}); "
+              f"breaker trips {router.breakers.trips()}, "
+              f"breaker skips {stats.breaker_skips}, "
+              f"quorum failures {stats.quorum_failures}")
+        print(f"-- hints queued {stats.hints_queued}, "
+              f"delivered {stats.hints_delivered}; "
+              f"read repairs {stats.read_repairs}")
+        print(f"-- anti-entropy: rounds {repair.rounds}, "
+              f"keys repaired {repair.keys_repaired}, "
+              f"converged {repair.converged}")
+        snapshot = router.breakers.snapshot()
+        tripped = {name: state for name, state in snapshot.items()
+                   if state != "closed"}
+        if tripped:
+            print("-- breakers now: " + ", ".join(
+                f"{name}={state}" for name, state in tripped.items()
+            ))
+        if args.json:
+            print(json.dumps({
+                "scenario": args.scenario,
+                "outcomes": outcomes,
+                "breakers": snapshot,
+                "router": stats.as_dict(),
+                "anti_entropy": repair.as_dict(),
+                "counters": metrics.snapshot()["counters"],
+            }, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterConfig,
+        ClusterEngine,
+        NodeCrash,
+        NodeFaultSchedule,
+    )
+
+    with _fresh_observability():
+        dataset = _build_world(args)
+        tracer = obs.Tracer(clock=dataset.clock)
+        obs.set_tracer(tracer)
+        drugtree = dataset.drugtree()
+        engine = ClusterEngine.from_drugtree(
+            drugtree,
+            cluster_config=ClusterConfig(
+                nodes=args.nodes,
+                partitions=args.partitions,
+                replication_factor=args.rf,
+                read_quorum=args.read_quorum,
+                # --verify seeds a divergence; handoff would heal it
+                # before anti-entropy gets the chance to.
+                hinted_handoff=not args.verify,
+            ),
+            clock=dataset.clock,
+            config=EngineConfig(use_semantic_cache=False),
+        )
+        router = engine.router
+        cluster = router.cluster
+        payload: dict = {
+            "config": {
+                "nodes": args.nodes, "partitions": args.partitions,
+                "rf": args.rf, "read_quorum": args.read_quorum,
+                "strongly_consistent":
+                    cluster.config.strongly_consistent,
+            },
+            "topology": cluster.topology(),
+        }
+        failures: list[str] = []
+
+        if args.verify:
+            # 1. Crash the primary of partition 0 and write through it:
+            # with handoff off, the sloppy quorum leaves that replica
+            # behind — a seeded divergence.
+            partition = engine.partitioner.interval_partitions[0]
+            victim = cluster.group_for(partition.pid).node_ids[0]
+            start = dataset.clock.now()
+            cluster.set_schedule(NodeFaultSchedule((
+                NodeCrash(victim, start, start + 5.0),
+            )))
+            divergence_rows = []
+            for i in range(5):
+                leaf = engine.labeling.leaf_name_at(
+                    partition.low + i % partition.leaf_count
+                )
+                values = {
+                    "ligand_id": f"LIG-DIVERGE-{i}",
+                    "protein_id": leaf,
+                    "activity_type": "IC50",
+                    "value_nm": 25.0 + i,
+                    "p_affinity": 7.6,
+                    "potent": True,
+                    "leaf_pre": engine.labeling.leaf_position(leaf),
+                }
+                engine.insert("bindings", values)
+                divergence_rows.append(values)
+            # 2. Heal (past the crash window AND the breaker reset
+            # timeout, so the victim is reachable again) and measure.
+            dataset.clock.advance(12.0)
+            before = router.verify()
+            if before.converged:
+                failures.append("expected a seeded divergence, "
+                                "replicas already agree")
+            # 3. Merkle anti-entropy must converge it.
+            repair = router.anti_entropy()
+            after = router.verify()
+            if not repair.converged or not after.converged:
+                failures.append("anti-entropy did not converge")
+            if after.divergent_keys:
+                failures.append(f"{after.divergent_keys} divergent "
+                                "keys remain after repair")
+            # 4. Parity: the healed cluster must answer exactly like
+            # the single-node engine over the same (grown) overlay.
+            for values in divergence_rows:
+                drugtree.tables["bindings"].insert(values)
+            single = QueryEngine(
+                drugtree, config=EngineConfig(use_semantic_cache=False)
+            )
+            clade = dataset.family.clade_names[0]
+            checks = [
+                "SELECT count(*) FROM bindings",
+                f"SELECT * FROM bindings WHERE p_affinity >= 6.0 "
+                f"IN SUBTREE '{clade}'",
+                "SELECT protein_id, p_affinity FROM bindings "
+                "ORDER BY p_affinity DESC LIMIT 10",
+            ]
+            for dtql in checks:
+                if single.execute(dtql).rows != engine.execute(dtql).rows:
+                    failures.append(f"parity mismatch: {dtql}")
+            payload["verify"] = {
+                "victim": victim,
+                "divergent_keys_before": before.divergent_keys,
+                "repair": repair.as_dict(),
+                "converged": after.converged,
+                "parity_checks": len(checks),
+                "failures": failures,
+            }
+            if not args.json:
+                print(f"seeded divergence: crashed {victim}, "
+                      f"{len(divergence_rows)} writes during the "
+                      f"window, {before.divergent_keys} divergent keys "
+                      "after heal")
+                print(f"anti-entropy: rounds {repair.rounds}, keys "
+                      f"repaired {repair.keys_repaired}, converged "
+                      f"{repair.converged}")
+                print(f"parity: {len(checks)} checks vs single-node "
+                      f"engine {'ok' if not failures else 'FAILED'}")
+        elif args.repair:
+            repair = router.anti_entropy()
+            payload["repair"] = repair.as_dict()
+            if not args.json:
+                print(f"anti-entropy: rounds {repair.rounds}, "
+                      f"keys repaired {repair.keys_repaired}, "
+                      f"entries pushed {repair.entries_pushed}, "
+                      f"converged {repair.converged}")
+
+        payload["nodes"] = cluster.node_states()
+        payload["router"] = router.stats.as_dict()
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            topology = TextTable(
+                ["partition", "clade", "interval", "replicas"],
+                title="Topology",
+            )
+            for row in payload["topology"]:
+                topology.add_row(f"p{row['pid']}", row["clade"],
+                                 row["interval"],
+                                 ", ".join(row["replicas"]))
+            print(topology.render())
+            nodes = TextTable(
+                ["node", "status", "keys", "hints", "rpcs", "failed"],
+                title="\nNodes",
+            )
+            for row in payload["nodes"]:
+                nodes.add_row(row["node"], row["status"], row["keys"],
+                              row["hints"], row["rpcs"],
+                              row["failed_rpcs"])
+            print(nodes.render())
+            geometry = cluster.config
+            print(f"-- quorums: rf={geometry.replication_factor} "
+                  f"r={geometry.read_quorum} w={geometry.write_quorum} "
+                  f"({'strong' if geometry.strongly_consistent else 'eventual'}"
+                  " consistency)")
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -938,11 +1255,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = commands.add_parser(
         "chaos",
-        help="replay mobile taps under a seeded fault scenario")
+        help="replay taps under a seeded fault scenario (source-level: "
+             "calm, blackout, flaky, rushhour, cascade; node-level: "
+             "node_calm, node_crash, split_brain, slow_node)")
     _add_world_options(chaos)
     chaos.add_argument("scenario", nargs="?", default="cascade",
-                       choices=("calm", "blackout", "flaky",
-                                "rushhour", "cascade"))
+                       help="fault scenario name (default cascade); "
+                            "unknown names get a did-you-mean hint")
     chaos.add_argument("--taps", type=int, default=30,
                        help="interactions to replay (default 30)")
     chaos.add_argument("--deadline", type=float, default=1.5,
@@ -953,9 +1272,45 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 3.0)")
     chaos.add_argument("--breaker-threshold", type=int, default=3)
     chaos.add_argument("--breaker-reset-s", type=float, default=10.0)
+    chaos.add_argument("--nodes", type=int, default=5,
+                       help="cluster nodes for node-level scenarios "
+                            "(default 5)")
+    chaos.add_argument("--partitions", type=int, default=4,
+                       help="clade partitions for node-level scenarios "
+                            "(default 4)")
+    chaos.add_argument("--rf", type=int, default=3,
+                       help="replication factor for node-level "
+                            "scenarios (default 3)")
+    chaos.add_argument("--read-quorum", type=int, default=2,
+                       help="read quorum for node-level scenarios "
+                            "(default 2)")
     chaos.add_argument("--json", action="store_true",
                        help="emit outcomes and counters as JSON")
     chaos.set_defaults(handler=_cmd_chaos)
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="shard the overlay into a simulated cluster: topology, "
+             "per-node state, --repair / --verify")
+    _add_world_options(cluster)
+    cluster.add_argument("--nodes", type=int, default=5,
+                         help="simulated nodes (default 5)")
+    cluster.add_argument("--partitions", type=int, default=4,
+                         help="clade-interval partitions (default 4)")
+    cluster.add_argument("--rf", type=int, default=3,
+                         help="replication factor (default 3)")
+    cluster.add_argument("--read-quorum", type=int, default=2,
+                         help="replicas per quorum read (default 2)")
+    cluster.add_argument("--repair", action="store_true",
+                         help="run a merkle anti-entropy pass and "
+                              "report it")
+    cluster.add_argument("--verify", action="store_true",
+                         help="seed a divergence (writes during a "
+                              "crash, handoff off), heal, repair, and "
+                              "assert convergence + parity")
+    cluster.add_argument("--json", action="store_true",
+                         help="emit machine-readable output")
+    cluster.set_defaults(handler=_cmd_cluster)
 
     lint = commands.add_parser(
         "lint", help="repository invariant lint rules (L001-L008)")

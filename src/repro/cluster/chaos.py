@@ -1,0 +1,192 @@
+"""Node-level chaos: deterministic fault windows for cluster nodes.
+
+Extends the PR 4 chaos harness from *source* faults to *node* faults.
+The same design rules apply: every fault is a window in **virtual
+time**, schedules are plain data built from a seed, and a replay with
+the same seed produces bit-identical behaviour. Three fault shapes:
+
+* :class:`NodeCrash` — the node answers nothing inside the window;
+  every RPC against it charges the RPC timeout and fails.
+* :class:`NetworkPartition` — a *set* of nodes becomes unreachable
+  from the router for the window (the nodes themselves are healthy —
+  which is exactly how replicas diverge).
+* :class:`SlowNode` — the node answers, but every RPC pays
+  ``extra_s`` additional virtual latency (gray failure: slow, not
+  dead, the case breakers and quorums must ride out together).
+
+:func:`node_scenario_schedule` builds the named scenarios the
+``repro chaos`` CLI exposes next to the source-level ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.errors import ClusterError, SourceError
+
+
+def _check_window(start_s: float, end_s: float) -> None:
+    if start_s < 0:
+        raise ClusterError("fault window cannot start before t=0")
+    if end_s <= start_s:
+        raise ClusterError("fault window must end after it starts")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """One node is down (crashed) for ``[start_s, end_s)``."""
+
+    node_id: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+
+    def down_at(self, now_s: float, node_id: str) -> bool:
+        return (node_id == self.node_id
+                and self.start_s <= now_s < self.end_s)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A set of nodes is unreachable for ``[start_s, end_s)``."""
+
+    start_s: float
+    end_s: float
+    unreachable: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if not self.unreachable:
+            raise ClusterError("network partition needs nodes to cut off")
+
+    def down_at(self, now_s: float, node_id: str) -> bool:
+        return (node_id in self.unreachable
+                and self.start_s <= now_s < self.end_s)
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """One node pays extra latency per RPC for ``[start_s, end_s)``."""
+
+    node_id: str
+    start_s: float
+    end_s: float
+    extra_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_s, self.end_s)
+        if self.extra_s <= 0:
+            raise ClusterError("slow-node extra latency must be positive")
+
+    def extra_at(self, now_s: float, node_id: str) -> float:
+        if (node_id == self.node_id
+                and self.start_s <= now_s < self.end_s):
+            return self.extra_s
+        return 0.0
+
+
+@dataclass(frozen=True)
+class NodeEffect:
+    """What the fault schedule says about one node right now."""
+
+    down: bool = False
+    extra_latency_s: float = 0.0
+
+
+class NodeFaultSchedule:
+    """All node-fault windows of one chaos scenario.
+
+    Pure data: the effect on a node at virtual time *t* is a fold over
+    the windows, so the same schedule replayed against the same clock
+    produces the same faults in the same order.
+    """
+
+    def __init__(self, events: tuple = (), seed: int = 0) -> None:
+        self.events = tuple(events)
+        self.seed = seed
+
+    def effect_for(self, node_id: str, now_s: float) -> NodeEffect:
+        down = False
+        extra = 0.0
+        for event in self.events:
+            if isinstance(event, (NodeCrash, NetworkPartition)):
+                if event.down_at(now_s, node_id):
+                    down = True
+            elif isinstance(event, SlowNode):
+                extra += event.extra_at(now_s, node_id)
+        return NodeEffect(down=down, extra_latency_s=extra)
+
+    def horizon_s(self) -> float:
+        """Virtual time after which every fault window has closed."""
+        return max((event.end_s for event in self.events), default=0.0)
+
+    def shifted(self, offset_s: float) -> "NodeFaultSchedule":
+        """The same schedule with every window moved by *offset_s*.
+
+        Scenario windows are authored relative to t=0; replays shift
+        them to whatever the clock reads when the replay starts (e.g.
+        after cluster seeding has already consumed virtual time).
+        """
+        return NodeFaultSchedule(
+            tuple(replace(event, start_s=event.start_s + offset_s,
+                          end_s=event.end_s + offset_s)
+                  for event in self.events),
+            seed=self.seed,
+        )
+
+    def describe(self) -> list[str]:
+        lines = []
+        for event in self.events:
+            if isinstance(event, NodeCrash):
+                lines.append(f"crash {event.node_id} "
+                             f"[{event.start_s:g}, {event.end_s:g})")
+            elif isinstance(event, NetworkPartition):
+                cut = ", ".join(sorted(event.unreachable))
+                lines.append(f"partition {{{cut}}} "
+                             f"[{event.start_s:g}, {event.end_s:g})")
+            else:
+                lines.append(f"slow {event.node_id} +{event.extra_s:g}s "
+                             f"[{event.start_s:g}, {event.end_s:g})")
+        return lines
+
+
+#: Node-level scenario names, listed by ``repro chaos`` next to the
+#: source-level ones from :mod:`repro.sources.chaos`.
+NODE_SCENARIOS = ("node_calm", "node_crash", "split_brain", "slow_node")
+
+
+def node_scenario_schedule(name: str, node_ids: tuple[str, ...],
+                           seed: int = 0) -> NodeFaultSchedule:
+    """A named, seed-replayable node-fault schedule over *node_ids*."""
+    node_ids = tuple(node_ids)
+    if name not in NODE_SCENARIOS:
+        raise SourceError(
+            f"unknown node chaos scenario {name!r} "
+            f"(known: {NODE_SCENARIOS})"
+        )
+    if not node_ids:
+        raise ClusterError("node scenario needs at least one node")
+    if name == "node_calm":
+        return NodeFaultSchedule((), seed=seed)
+    rng = random.Random(seed)
+    if name == "node_crash":
+        victim = node_ids[rng.randrange(len(node_ids))]
+        start = 2.0 + rng.random() * 3.0
+        return NodeFaultSchedule(
+            (NodeCrash(victim, start, start + 60.0),), seed=seed,
+        )
+    if name == "split_brain":
+        count = max(1, len(node_ids) // 2)
+        cut = frozenset(rng.sample(node_ids, count))
+        return NodeFaultSchedule(
+            (NetworkPartition(4.0, 40.0, unreachable=cut),), seed=seed,
+        )
+    # slow_node
+    victim = node_ids[rng.randrange(len(node_ids))]
+    extra = 0.1 + rng.random() * 0.2
+    return NodeFaultSchedule(
+        (SlowNode(victim, 1.0, 80.0, extra_s=extra),), seed=seed,
+    )

@@ -1,0 +1,109 @@
+"""Per-partition merkle trees: cheap replica comparison for anti-entropy.
+
+Two replicas of a partition agree iff their merkle roots agree; when
+they do not, comparing the trees level by level narrows the divergence
+to a handful of leaf buckets, so repair moves only the keys that
+actually differ instead of streaming whole partitions.
+
+Keys are assigned to a fixed number of leaf buckets by key hash (stable
+under any insertion order), each bucket digests its sorted
+``(key, version)`` pairs, and internal levels pairwise-combine digests
+up to a single root. Versions — not row payloads — are hashed: a stale
+replica holds an older version for the key, which is exactly the
+difference repair needs to find.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+Key = tuple[str, int]
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+class MerkleTree:
+    """A merkle tree over one replica's ``key → version`` map."""
+
+    __slots__ = ("bucket_count", "bucket_keys", "versions", "levels")
+
+    def __init__(self, bucket_count: int,
+                 bucket_keys: list[list[Key]],
+                 versions: dict[Key, int],
+                 levels: list[list[str]]) -> None:
+        self.bucket_count = bucket_count
+        self.bucket_keys = bucket_keys
+        self.versions = versions
+        self.levels = levels
+
+    @staticmethod
+    def bucket_of(key: Key, bucket_count: int) -> int:
+        return int(_digest(repr(key))[:8], 16) % bucket_count
+
+    @classmethod
+    def build(cls, versions: dict[Key, int],
+              bucket_count: int = 32) -> "MerkleTree":
+        buckets: list[list[Key]] = [[] for _ in range(bucket_count)]
+        for key in versions:
+            buckets[cls.bucket_of(key, bucket_count)].append(key)
+        leaf_hashes = []
+        for keys in buckets:
+            keys.sort()
+            leaf_hashes.append(_digest(repr(
+                [(key, versions[key]) for key in keys]
+            )))
+        levels = [leaf_hashes]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            levels.append([
+                _digest(below[i] + (below[i + 1]
+                                    if i + 1 < len(below) else ""))
+                for i in range(0, len(below), 2)
+            ])
+        return cls(bucket_count, buckets, dict(versions), levels)
+
+    @property
+    def root_hash(self) -> str:
+        return self.levels[-1][0]
+
+    def diff_buckets(self, other: "MerkleTree") -> list[int]:
+        """Leaf bucket indexes whose digests differ, walking top-down.
+
+        Equal subtrees are skipped at the highest level where their
+        combined digests match — the whole point of the tree shape.
+        """
+        if self.bucket_count != other.bucket_count:
+            raise ValueError("cannot diff trees with different widths")
+        differing: list[int] = []
+        stack = [(len(self.levels) - 1, 0)]
+        while stack:
+            level, index = stack.pop()
+            if self.levels[level][index] == other.levels[level][index]:
+                continue
+            if level == 0:
+                differing.append(index)
+                continue
+            below = len(self.levels[level - 1])
+            left = index * 2
+            if left < below:
+                stack.append((level - 1, left))
+            if left + 1 < below:
+                stack.append((level - 1, left + 1))
+        differing.sort()
+        return differing
+
+    def diff_keys(self, other: "MerkleTree") -> set[Key]:
+        """Keys that may differ between the two replicas (both sides'
+        keys of every differing bucket — covers missing and stale)."""
+        keys: set[Key] = set()
+        for bucket in self.diff_buckets(other):
+            keys.update(self.bucket_keys[bucket])
+            keys.update(other.bucket_keys[bucket])
+        return keys
+
+    def __repr__(self) -> str:
+        return (f"MerkleTree(root={self.root_hash[:12]}, "
+                f"keys={len(self.versions)}, "
+                f"buckets={self.bucket_count})")

@@ -62,6 +62,24 @@ class BorrowTimeoutError(SourceError):
     """
 
 
+class ClusterError(SourceError):
+    """A cluster operation failed (quorum not reached, bad topology, ...).
+
+    Subclasses :class:`SourceError` so the graceful-degradation paths
+    built for federation faults (stale serving, chaos outcome counting)
+    treat cluster failures the same way as any other remote fault.
+    """
+
+
+class NodeDownError(ClusterError):
+    """A simulated cluster node was unreachable for one RPC (crashed or
+    cut off by a network partition window)."""
+
+
+class QuorumError(ClusterError):
+    """Too few replicas answered to satisfy the read/write quorum."""
+
+
 class StorageError(DrugTreeError):
     """Local storage layer failure (schema violation, missing table, ...)."""
 

@@ -144,6 +144,11 @@ class AnalyzeReport:
     #: ``segments_pruned`` (zone-map pruning during this execution);
     #: empty for purely in-memory DrugTrees.
     storage: dict[str, Any] = field(default_factory=dict)
+    #: Cluster routing facts: ``shards_contacted`` / ``shards_total`` /
+    #: ``shards_pruned``, quorum geometry (``rf``/``read_quorum``), and
+    #: ``read_repairs`` / ``hints_queued`` during this execution; empty
+    #: when the query ran on a single-node engine.
+    cluster: dict[str, Any] = field(default_factory=dict)
 
     @property
     def row_estimate_error(self) -> float:
@@ -214,6 +219,17 @@ class AnalyzeReport:
                 f"{self.storage.get('segments_read', 0)}, "
                 f"pruned={self.storage.get('segments_pruned', 0)}"
             )
+        if self.cluster:
+            lines.append(
+                "-- cluster: shards contacted="
+                f"{self.cluster.get('shards_contacted', 0)}"
+                f"/{self.cluster.get('shards_total', 0)} "
+                f"(pruned {self.cluster.get('shards_pruned', 0)}), "
+                f"rf={self.cluster.get('rf', 1)} "
+                f"r={self.cluster.get('read_quorum', 1)}, "
+                f"repairs={self.cluster.get('read_repairs', 0)}, "
+                f"hints={self.cluster.get('hints_queued', 0)}"
+            )
         if self.source_roundtrips:
             parts = [
                 f"{name}: +{int(delta['during'])} during execution, "
@@ -272,5 +288,6 @@ class AnalyzeReport:
             "resilience": dict(self.resilience),
             "execution": dict(self.execution),
             "storage": dict(self.storage),
+            "cluster": dict(self.cluster),
             "operators": self.operators.as_dict(),
         }

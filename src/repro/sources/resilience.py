@@ -216,33 +216,50 @@ class CircuitBreaker:
 
 
 class BreakerBoard:
-    """Lazily-built breakers keyed by ``(source_name, kind)``."""
+    """Lazily-built breakers keyed by ``(source_name, kind[, node])``.
+
+    The optional ``node`` component lets the cluster layer keep one
+    breaker per *replica node* rather than per logical source, so a
+    single crashed node trips its own breaker without darkening the
+    healthy replicas of the same partition.
+    """
 
     def __init__(self, clock: SimulatedClock,
                  config: BreakerConfig | None = None) -> None:
         self.clock = clock
         self.config = config or BreakerConfig()
         self._lock = threading.Lock()
-        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+        self._breakers: dict[tuple[str, str, str | None],
+                             CircuitBreaker] = {}
 
-    def breaker(self, source_name: str, kind: str) -> CircuitBreaker:
-        slot = (source_name, kind)
+    def breaker(self, source_name: str, kind: str,
+                node: str | None = None) -> CircuitBreaker:
+        slot = (source_name, kind, node)
         with self._lock:
             breaker = self._breakers.get(slot)
             if breaker is None:
+                name = f"{source_name}.{kind}"
+                if node is not None:
+                    name += f"@{node}"
                 breaker = CircuitBreaker(
-                    self.clock, self.config,
-                    name=f"{source_name}.{kind}",
+                    self.clock, self.config, name=name,
                 )
                 self._breakers[slot] = breaker
             return breaker
 
     def snapshot(self) -> dict[str, str]:
-        """``"source/kind" -> state`` for every breaker seen so far."""
+        """``"source/kind[@node]" -> state`` for every breaker seen."""
         with self._lock:
             items = list(self._breakers.items())
-        return {f"{source}/{kind}": breaker.state
-                for (source, kind), breaker in sorted(items)}
+        snapshot = {}
+        for (source, kind, node), breaker in sorted(
+                items, key=lambda item: (item[0][0], item[0][1],
+                                         item[0][2] or "")):
+            key = f"{source}/{kind}"
+            if node is not None:
+                key += f"@{node}"
+            snapshot[key] = breaker.state
+        return snapshot
 
     def open_fraction(self) -> float:
         """Share of known breakers currently not closed."""

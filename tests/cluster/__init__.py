@@ -1,0 +1,1 @@
+"""Tests for the sharded replication subsystem (repro.cluster)."""

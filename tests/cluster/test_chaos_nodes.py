@@ -1,0 +1,161 @@
+"""Node-level chaos: deterministic fault windows, replayable scenarios."""
+
+import pytest
+
+from repro.cluster.chaos import (
+    NODE_SCENARIOS,
+    NetworkPartition,
+    NodeCrash,
+    NodeFaultSchedule,
+    SlowNode,
+    node_scenario_schedule,
+)
+from repro.cluster.node import ClusterNode, VersionedRow
+from repro.errors import ClusterError, NodeDownError, SourceError
+from repro.sources.clock import SimulatedClock
+
+NODE_IDS = ("node-0", "node-1", "node-2", "node-3", "node-4")
+
+
+class TestFaultWindows:
+    def test_crash_window_is_half_open(self):
+        crash = NodeCrash("node-1", 2.0, 5.0)
+        assert not crash.down_at(1.9, "node-1")
+        assert crash.down_at(2.0, "node-1")
+        assert crash.down_at(4.9, "node-1")
+        assert not crash.down_at(5.0, "node-1")
+        assert not crash.down_at(3.0, "node-2")
+
+    def test_partition_cuts_only_members(self):
+        cut = NetworkPartition(1.0, 9.0,
+                               unreachable=frozenset({"node-0", "node-2"}))
+        assert cut.down_at(5.0, "node-0")
+        assert cut.down_at(5.0, "node-2")
+        assert not cut.down_at(5.0, "node-1")
+
+    def test_partition_needs_members(self):
+        with pytest.raises(ClusterError):
+            NetworkPartition(1.0, 2.0)
+
+    def test_bad_windows_rejected(self):
+        with pytest.raises(ClusterError):
+            NodeCrash("node-0", 5.0, 5.0)
+        with pytest.raises(ClusterError):
+            NodeCrash("node-0", -1.0, 5.0)
+        with pytest.raises(ClusterError):
+            SlowNode("node-0", 1.0, 2.0, extra_s=0.0)
+
+    def test_slow_node_extra_latency(self):
+        slow = SlowNode("node-3", 1.0, 4.0, extra_s=0.25)
+        assert slow.extra_at(2.0, "node-3") == 0.25
+        assert slow.extra_at(4.0, "node-3") == 0.0
+        assert slow.extra_at(2.0, "node-1") == 0.0
+
+
+class TestSchedule:
+    def test_effects_fold_over_events(self):
+        schedule = NodeFaultSchedule((
+            NodeCrash("node-0", 2.0, 5.0),
+            SlowNode("node-1", 0.0, 10.0, extra_s=0.1),
+            SlowNode("node-1", 0.0, 10.0, extra_s=0.2),
+        ))
+        assert schedule.effect_for("node-0", 3.0).down
+        assert not schedule.effect_for("node-0", 6.0).down
+        # Overlapping slow windows stack.
+        assert schedule.effect_for("node-1", 1.0).extra_latency_s == \
+            pytest.approx(0.3)
+
+    def test_horizon_covers_last_window(self):
+        schedule = NodeFaultSchedule((
+            NodeCrash("node-0", 2.0, 5.0),
+            SlowNode("node-1", 1.0, 12.0),
+        ))
+        assert schedule.horizon_s() == 12.0
+        assert NodeFaultSchedule().horizon_s() == 0.0
+
+    def test_shifted_moves_every_window(self):
+        schedule = NodeFaultSchedule(
+            (NodeCrash("node-0", 2.0, 5.0),), seed=7,
+        )
+        shifted = schedule.shifted(100.0)
+        assert shifted.seed == 7
+        assert not shifted.effect_for("node-0", 3.0).down
+        assert shifted.effect_for("node-0", 103.0).down
+        assert not shifted.effect_for("node-0", 105.0).down
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", NODE_SCENARIOS)
+    def test_same_seed_same_schedule(self, name):
+        first = node_scenario_schedule(name, NODE_IDS, seed=5)
+        second = node_scenario_schedule(name, NODE_IDS, seed=5)
+        assert first.events == second.events
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SourceError, match="unknown node chaos"):
+            node_scenario_schedule("meteor_strike", NODE_IDS)
+
+    def test_needs_nodes(self):
+        with pytest.raises(ClusterError):
+            node_scenario_schedule("node_crash", ())
+
+    def test_calm_has_no_events(self):
+        assert node_scenario_schedule("node_calm", NODE_IDS).events == ()
+
+    def test_crash_picks_one_victim(self):
+        schedule = node_scenario_schedule("node_crash", NODE_IDS, seed=3)
+        (crash,) = schedule.events
+        assert isinstance(crash, NodeCrash)
+        assert crash.node_id in NODE_IDS
+
+    def test_split_brain_cuts_half(self):
+        schedule = node_scenario_schedule("split_brain", NODE_IDS, seed=3)
+        (cut,) = schedule.events
+        assert isinstance(cut, NetworkPartition)
+        assert len(cut.unreachable) == len(NODE_IDS) // 2
+
+
+class TestNodeRpcBehaviour:
+    def test_crashed_node_charges_timeout_and_raises(self):
+        clock = SimulatedClock()
+        node = ClusterNode("node-0", clock, timeout_s=0.5,
+                           schedule=NodeFaultSchedule(
+                               (NodeCrash("node-0", 0.0, 10.0),)
+                           ))
+        before = clock.now()
+        with pytest.raises(NodeDownError):
+            node.get_partition(0)
+        assert clock.now() - before == pytest.approx(0.5)
+        assert node.failed_rpcs == 1
+        assert node.is_down()
+
+    def test_slow_node_charges_extra_latency(self):
+        clock = SimulatedClock()
+        node = ClusterNode("node-0", clock, base_latency_s=0.01,
+                           schedule=NodeFaultSchedule(
+                               (SlowNode("node-0", 0.0, 10.0,
+                                         extra_s=0.2),)
+                           ))
+        before = clock.now()
+        node.put(0, "bindings", 0, VersionedRow(1, ("x",)))
+        assert clock.now() - before == pytest.approx(0.21)
+        assert not node.is_down()
+
+    def test_healed_node_answers_again(self):
+        clock = SimulatedClock()
+        node = ClusterNode("node-0", clock,
+                           schedule=NodeFaultSchedule(
+                               (NodeCrash("node-0", 0.0, 1.0),)
+                           ))
+        with pytest.raises(NodeDownError):
+            node.get_partition(0)
+        clock.advance(2.0)
+        assert node.get_partition(0) == {}
+
+    def test_newer_version_wins_at_the_replica(self):
+        clock = SimulatedClock()
+        node = ClusterNode("node-0", clock)
+        node.put(0, "bindings", 0, VersionedRow(2, ("new",)))
+        node.put(0, "bindings", 0, VersionedRow(1, ("old",)))
+        assert node.get_partition(0)[("bindings", 0)].row == ("new",)
+        assert node.key_count(0) == 1

@@ -1,0 +1,111 @@
+"""Merkle trees: root agreement iff version maps agree, narrow diffs."""
+
+import pytest
+
+from repro.cluster.merkle import MerkleTree
+
+
+def versions_for(n, start=0):
+    return {("bindings", i): 1 for i in range(start, start + n)}
+
+
+class TestRoots:
+    def test_equal_maps_equal_roots(self):
+        versions = versions_for(40)
+        first = MerkleTree.build(versions)
+        second = MerkleTree.build(dict(versions))
+        assert first.root_hash == second.root_hash
+
+    def test_insertion_order_irrelevant(self):
+        versions = versions_for(40)
+        shuffled = dict(sorted(versions.items(), reverse=True))
+        assert (MerkleTree.build(versions).root_hash
+                == MerkleTree.build(shuffled).root_hash)
+
+    def test_version_bump_flips_root(self):
+        versions = versions_for(40)
+        bumped = dict(versions)
+        bumped[("bindings", 7)] = 2
+        assert (MerkleTree.build(versions).root_hash
+                != MerkleTree.build(bumped).root_hash)
+
+    def test_missing_key_flips_root(self):
+        versions = versions_for(40)
+        partial = dict(versions)
+        del partial[("bindings", 3)]
+        assert (MerkleTree.build(versions).root_hash
+                != MerkleTree.build(partial).root_hash)
+
+    def test_empty_tree_has_a_root(self):
+        tree = MerkleTree.build({})
+        assert tree.root_hash
+        assert tree.root_hash == MerkleTree.build({}).root_hash
+
+
+class TestDiff:
+    def test_identical_trees_diff_nothing(self):
+        versions = versions_for(64)
+        first = MerkleTree.build(versions)
+        second = MerkleTree.build(dict(versions))
+        assert first.diff_buckets(second) == []
+        assert first.diff_keys(second) == set()
+
+    def test_stale_version_found(self):
+        versions = versions_for(64)
+        stale = dict(versions)
+        stale[("bindings", 11)] = 0
+        diff = MerkleTree.build(versions).diff_keys(
+            MerkleTree.build(stale)
+        )
+        assert ("bindings", 11) in diff
+        # Only keys co-bucketed with the change may ride along.
+        changed_bucket = MerkleTree.bucket_of(("bindings", 11), 32)
+        assert all(MerkleTree.bucket_of(key, 32) == changed_bucket
+                   for key in diff)
+
+    def test_key_present_on_one_side_only(self):
+        versions = versions_for(64)
+        partial = dict(versions)
+        del partial[("bindings", 20)]
+        # Symmetric: the missing key is found from either direction.
+        forward = MerkleTree.build(versions).diff_keys(
+            MerkleTree.build(partial)
+        )
+        backward = MerkleTree.build(partial).diff_keys(
+            MerkleTree.build(versions)
+        )
+        assert ("bindings", 20) in forward
+        assert forward == backward
+
+    def test_diff_narrows_to_changed_buckets(self):
+        versions = versions_for(512)
+        bumped = dict(versions)
+        bumped[("bindings", 100)] = 9
+        tree = MerkleTree.build(versions, bucket_count=64)
+        other = MerkleTree.build(bumped, bucket_count=64)
+        assert tree.diff_buckets(other) == [
+            MerkleTree.bucket_of(("bindings", 100), 64)
+        ]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree.build({}, bucket_count=16).diff_buckets(
+                MerkleTree.build({}, bucket_count=32)
+            )
+
+
+class TestBuckets:
+    def test_bucket_assignment_stable(self):
+        key = ("proteins", 13)
+        assert (MerkleTree.bucket_of(key, 32)
+                == MerkleTree.bucket_of(("proteins", 13), 32))
+        assert 0 <= MerkleTree.bucket_of(key, 32) < 32
+
+    def test_single_bucket_tree(self):
+        versions = versions_for(10)
+        tree = MerkleTree.build(versions, bucket_count=1)
+        bumped = dict(versions)
+        bumped[("bindings", 0)] = 5
+        other = MerkleTree.build(bumped, bucket_count=1)
+        assert tree.diff_buckets(other) == [0]
+        assert tree.diff_keys(other) == set(versions)

@@ -1,0 +1,304 @@
+"""Router protocols: quorum I/O, hinted handoff, merkle anti-entropy."""
+
+import pytest
+
+from repro.bio import parse_newick
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    NodeCrash,
+    NodeFaultSchedule,
+    Router,
+)
+from repro.core.labeling import IntervalLabeling
+from repro.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    QuorumError,
+)
+from repro.obs import MetricsRegistry, set_metrics
+from repro.sources.resilience import Deadline
+
+NEWICK = "((a:1,b:1)ab:1,((c:1,d:1)cd:1,(e:1,f:1)ef:1)cdef:1)root;"
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    set_metrics(MetricsRegistry())
+    yield
+    set_metrics(MetricsRegistry())
+
+
+def make_router(hinted_handoff=True, **overrides):
+    labeling = IntervalLabeling(parse_newick(NEWICK))
+    config = ClusterConfig(
+        nodes=5, partitions=3, replication_factor=3,
+        read_quorum=2, write_quorum=2,
+        hinted_handoff=hinted_handoff, **overrides,
+    )
+    return Router(Cluster(labeling, config=config))
+
+
+def crash(router, node_id, duration_s=60.0):
+    now = router.clock.now()
+    router.cluster.set_schedule(NodeFaultSchedule(
+        (NodeCrash(node_id, now, now + duration_s),)
+    ))
+
+
+def heal(router):
+    """Clear faults and wait out both windows and breaker resets."""
+    router.cluster.set_schedule(NodeFaultSchedule())
+    router.clock.advance(60.0)
+    for node_id in router.cluster.node_ids:
+        router._breaker_for(node_id).reset()
+
+
+def row(i):
+    return (f"LIG-{i}", "a", "IC50", 10.0, 8.0, True, 0)
+
+
+class TestVersionsAndRouting:
+    def test_versions_are_monotone(self):
+        router = make_router()
+        first = router.write("bindings", 0, row(0), leaf_pre=0)
+        second = router.write("bindings", 1, row(1), leaf_pre=0)
+        assert second > first
+        assert router.store_version == 2
+
+    def test_routes_by_leaf_pre(self):
+        router = make_router()
+        partitioner = router.cluster.partitioner
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        pid = partitioner.partition_for_position(0).pid
+        group = router.cluster.group_for(pid)
+        for node_id in group.node_ids:
+            node = router.cluster.node(node_id)
+            assert node.key_count(pid) == 1
+        outside = set(router.cluster.node_ids) - set(group.node_ids)
+        for node_id in outside:
+            assert router.cluster.node(node_id).key_count() == 0
+
+    def test_no_leaf_pre_goes_to_global_partition(self):
+        router = make_router()
+        router.write("ligands", 0, ("LIG-0", "CCO"))
+        pid = router.cluster.partitioner.ligands_partition.pid
+        merged = router.read_partition(pid)
+        assert ("ligands", 0) in merged
+
+    def test_row_id_allocation_resumes_after_seeding(self):
+        router = make_router()
+        router.write("bindings", 41, row(0), leaf_pre=0)
+        assert router.allocate_row_id("bindings") == 42
+        assert router.allocate_row_id("ligands") == 0
+
+
+class TestQuorumReads:
+    def test_newest_version_wins(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        router.write("bindings", 0, ("updated",) + row(0)[1:],
+                     leaf_pre=0)
+        merged = router.read_partition(pid)
+        assert merged[("bindings", 0)].row[0] == "updated"
+
+    def test_read_repair_fixes_stale_contacted_replica(self):
+        router = make_router(hinted_handoff=False)
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        group = router.cluster.group_for(pid)
+        victim = group.node_ids[0]
+        crash(router, victim, duration_s=5.0)
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        heal(router)
+        assert router.cluster.node(victim).key_count(pid) == 0
+        # The quorum read contacts the (healed) victim first, sees it
+        # is stale against the merge winner, and repairs it in place.
+        router.read_partition(pid)
+        assert router.stats.read_repairs >= 1
+        assert router.cluster.node(victim).key_count(pid) == 1
+
+    def test_quorum_failure_when_too_few_replicas(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        for node_id in router.cluster.group_for(pid).node_ids[:2]:
+            # Two of three replicas gone: R=2 cannot be met.
+            now = router.clock.now()
+            events = router.cluster.schedule.events + (
+                NodeCrash(node_id, now, now + 60.0),
+            )
+            router.cluster.set_schedule(NodeFaultSchedule(events))
+        with pytest.raises(QuorumError):
+            router.read_partition(pid)
+        assert router.stats.quorum_failures == 1
+
+    def test_deadline_exceeded_raises(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        spent = Deadline(router.clock, 0.001)
+        router.clock.advance(1.0)
+        with pytest.raises(DeadlineExceededError):
+            router.read_partition(pid, deadline=spent)
+
+    def test_fanout_merges_disjoint_partitions(self):
+        router = make_router()
+        labeling = router.cluster.partitioner.labeling
+        for i, name in enumerate(labeling.tree.leaf_names()):
+            router.write("bindings", i, row(i),
+                         leaf_pre=labeling.leaf_position(name))
+        pids = [p.pid for p in
+                router.cluster.partitioner.interval_partitions]
+        merged = router.read_partitions(pids)
+        assert len(merged) == labeling.leaf_count
+
+    def test_unknown_partition_rejected(self):
+        router = make_router()
+        with pytest.raises(ClusterError):
+            router.read_partition(99)
+
+
+class TestWritesAndHints:
+    def test_write_quorum_failure(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        group = router.cluster.group_for(pid)
+        now = router.clock.now()
+        router.cluster.set_schedule(NodeFaultSchedule(tuple(
+            NodeCrash(node_id, now, now + 60.0)
+            for node_id in group.node_ids[:2]
+        )))
+        with pytest.raises(QuorumError):
+            router.write("bindings", 0, row(0), leaf_pre=0)
+
+    def test_missed_replica_gets_a_hint(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=5.0)
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        assert router.stats.hints_queued == 1
+        assert router.hints_outstanding() == 1
+        assert router.cluster.node(victim).key_count(pid) == 0
+
+    def test_hints_drain_when_target_returns(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=5.0)
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        heal(router)
+        delivered = router.drain_hints()
+        assert delivered == 1
+        assert router.hints_outstanding() == 0
+        assert router.cluster.node(victim).key_count(pid) == 1
+        assert router.stats.hints_delivered == 1
+
+    def test_hints_survive_while_target_still_down(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=600.0)
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        assert router.drain_hints() == 0
+        assert router.hints_outstanding() == 1
+
+    def test_handoff_off_leaves_divergence(self):
+        router = make_router(hinted_handoff=False)
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=5.0)
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        assert router.hints_outstanding() == 0
+        heal(router)
+        report = router.verify()
+        assert not report.converged
+        assert report.divergent_keys >= 1
+
+
+class TestAntiEntropy:
+    def seed_divergence(self, router, writes=3):
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=5.0)
+        for i in range(writes):
+            router.write("bindings", i, row(i), leaf_pre=0)
+        heal(router)
+        return pid, victim
+
+    def test_converges_in_bounded_rounds(self):
+        router = make_router(hinted_handoff=False)
+        pid, victim = self.seed_divergence(router)
+        assert not router.verify().converged
+        report = router.anti_entropy(max_rounds=4)
+        # One round repairs, the next proves the fixpoint.
+        assert report.rounds <= 2
+        assert report.converged
+        assert report.entries_pushed == 3
+        assert report.keys_repaired == 3
+        assert report.groups_repaired == 1
+        assert router.cluster.node(victim).key_count(pid) == 3
+        after = router.verify()
+        assert after.converged
+        assert after.divergent_keys == 0
+
+    def test_noop_on_converged_cluster(self):
+        router = make_router()
+        router.write("bindings", 0, row(0), leaf_pre=0)
+        report = router.anti_entropy()
+        assert report.rounds == 1
+        assert report.entries_pushed == 0
+        assert report.converged
+
+    def test_skips_groups_without_two_live_replicas(self):
+        router = make_router(hinted_handoff=False)
+        pid, victim = self.seed_divergence(router)
+        group = router.cluster.group_for(pid)
+        now = router.clock.now()
+        router.cluster.set_schedule(NodeFaultSchedule(tuple(
+            NodeCrash(node_id, now, now + 600.0)
+            for node_id in group.node_ids[:2]
+        )))
+        report = router.anti_entropy()
+        assert pid in report.groups_skipped
+        assert not report.converged
+
+    def test_repair_is_idempotent(self):
+        router = make_router(hinted_handoff=False)
+        self.seed_divergence(router)
+        first = router.anti_entropy()
+        second = router.anti_entropy()
+        assert first.converged
+        assert second.entries_pushed == 0
+        assert second.converged
+
+
+class TestPerNodeBreakers:
+    def test_breaker_opens_for_the_crashed_node_only(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=600.0)
+        # Default router breaker threshold is 3 failures.
+        for i in range(3):
+            router.write("bindings", i, row(i), leaf_pre=0)
+        snapshot = router.breakers.snapshot()
+        assert snapshot[f"cluster/replica@{victim}"] == "open"
+        others = {name: state for name, state in snapshot.items()
+                  if not name.endswith(f"@{victim}")}
+        assert all(state == "closed" for state in others.values())
+
+    def test_open_breaker_short_circuits_instead_of_timing_out(self):
+        router = make_router()
+        pid = router.cluster.partitioner.partition_for_position(0).pid
+        victim = router.cluster.group_for(pid).node_ids[0]
+        crash(router, victim, duration_s=600.0)
+        for i in range(3):
+            router.write("bindings", i, row(i), leaf_pre=0)
+        errors_before = router.stats.node_errors
+        before = router.clock.now()
+        router.write("bindings", 3, row(3), leaf_pre=0)
+        # The victim was skipped: no new timeout charged against it.
+        assert router.stats.breaker_skips >= 1
+        assert router.stats.node_errors == errors_before
+        elapsed = router.clock.now() - before
+        assert elapsed < router.config.rpc_timeout_s

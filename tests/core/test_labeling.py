@@ -106,3 +106,75 @@ class TestProperties:
             labeling.leaf_position(name) for name in tree.leaf_names()
         )
         assert positions == list(range(n))
+
+
+class TestIntervalEdgeCases:
+    """The interval contract the cluster partitioner depends on."""
+
+    @pytest.fixture
+    def labeled(self):
+        tree = parse_newick(
+            "((a:1,b:1)ab:1,((c:1,d:1)cd:1,e:1)cde:1)root;"
+        )
+        return IntervalLabeling(tree)
+
+    def test_single_leaf_clade_interval(self, labeled):
+        # A leaf's own interval is the degenerate half-open [p, p+1).
+        for name in "abcde":
+            label = labeled.label_of(name)
+            position = labeled.leaf_position(name)
+            assert (label.leaf_low, label.leaf_high) == \
+                (position, position + 1)
+            assert label.leaf_count == 1
+
+    def test_root_interval_spans_all_leaves(self, labeled):
+        root = labeled.label_of("root")
+        assert (root.leaf_low, root.leaf_high) == \
+            (0, labeled.leaf_count)
+
+    def test_sibling_intervals_are_half_open_and_disjoint(self, labeled):
+        ab = labeled.label_of("ab")
+        cde = labeled.label_of("cde")
+        # Half-open: the boundary leaf belongs to exactly one clade.
+        assert ab.leaf_high == cde.leaf_low
+        assert labeled.leaf_name_at(ab.leaf_high) == "c"
+        assert "c" not in labeled.leaves_under("ab")
+        assert "c" in labeled.leaves_under("cde")
+
+    def test_children_partition_parent_interval(self, labeled):
+        for node in labeled.tree.preorder():
+            children = [labeled.label_of_node(child)
+                        for child in node.children]
+            if not children:
+                continue
+            parent = labeled.label_of_node(node)
+            children.sort(key=lambda label: label.leaf_low)
+            assert children[0].leaf_low == parent.leaf_low
+            assert children[-1].leaf_high == parent.leaf_high
+            for left, right in zip(children, children[1:]):
+                assert left.leaf_high == right.leaf_low
+
+    def test_relabeling_after_tree_mutation(self, labeled):
+        # Graft a new leaf under 'cd'; a fresh labeling must shift
+        # every position at or right of it while staying dense,
+        # half-open, and non-overlapping.
+        from repro.bio.tree import PhyloNode, PhyloTree
+
+        tree = labeled.tree
+        tree.find("cd").add_child(PhyloNode("d2", branch_length=1.0))
+        relabeled = IntervalLabeling(PhyloTree(tree.root))
+        assert relabeled.leaf_count == labeled.leaf_count + 1
+        positions = sorted(relabeled.leaf_position(name)
+                           for name in relabeled.tree.leaf_names())
+        assert positions == list(range(relabeled.leaf_count))
+        # The grafted leaf landed inside its parent clade's interval...
+        low, high = relabeled.leaf_range("cd")
+        assert low <= relabeled.leaf_position("d2") < high
+        assert relabeled.leaves_under("cd") == ["c", "d", "d2"]
+        # ...and everything to its right shifted by exactly one.
+        assert relabeled.leaf_position("e") == \
+            labeled.leaf_position("e") + 1
+        assert relabeled.leaf_position("a") == labeled.leaf_position("a")
+        # The old labeling is a snapshot: it still answers for the
+        # pre-mutation world and does not know the new leaf.
+        assert not labeled.has_name("d2")

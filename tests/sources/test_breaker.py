@@ -177,6 +177,35 @@ class TestBreakerBoard:
     def test_empty_board_fraction_is_zero(self):
         assert BreakerBoard(SimulatedClock()).open_fraction() == 0.0
 
+    def test_node_identity_separates_breakers(self):
+        board = BreakerBoard(SimulatedClock())
+        plain = board.breaker("cluster", "replica")
+        node_0 = board.breaker("cluster", "replica", node="node-0")
+        node_1 = board.breaker("cluster", "replica", node="node-1")
+        assert plain is not node_0
+        assert node_0 is not node_1
+        assert board.breaker("cluster", "replica",
+                             node="node-0") is node_0
+        assert node_0.name == "cluster.replica@node-0"
+
+    def test_node_breaker_trips_independently(self):
+        clock = SimulatedClock()
+        board = BreakerBoard(clock, BreakerConfig(failure_threshold=1))
+        board.breaker("cluster", "replica",
+                      node="node-1").record_failure()
+        board.breaker("cluster", "replica",
+                      node="node-0").record_success()
+        board.breaker("cluster", "replica").record_success()
+        assert board.snapshot() == {
+            "cluster/replica": "closed",
+            "cluster/replica@node-0": "closed",
+            "cluster/replica@node-1": "open",
+        }
+        assert board.trips() == 1
+        # The tripped node's gauge reflects the transition.
+        gauges = get_metrics().snapshot()["gauges"]
+        assert gauges["breaker.state.cluster.replica@node-1"] == 2.0
+
 
 class TestDeadline:
     def test_budget_must_be_positive(self):

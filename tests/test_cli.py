@@ -552,3 +552,80 @@ class TestDurableCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["compact", "somewhere", "--fsync", "sometimes"])
+
+
+class TestClusterCommands:
+    WORLD_SMALL = ["--leaves", "12", "--ligands", "16", "--seed", "3"]
+
+    def test_cluster_topology(self, capsys):
+        assert main(["cluster", *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Topology" in out
+        assert "node-0" in out
+        assert "(global)" in out
+        assert "rf=3 r=2 w=2" in out
+
+    def test_cluster_json(self, capsys):
+        import json
+
+        assert main(["cluster", "--json", *self.WORLD_SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["strongly_consistent"] is True
+        assert len(payload["nodes"]) == 5
+        assert payload["topology"][-1]["interval"] == "(global)"
+        assert payload["router"]["writes"] > 0
+
+    def test_cluster_repair_converges_calm_cluster(self, capsys):
+        assert main(["cluster", "--repair", *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "anti-entropy" in out
+        assert "converged True" in out
+
+    def test_cluster_verify(self, capsys):
+        assert main(["cluster", "--verify", *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "seeded divergence" in out
+        assert "converged True" in out
+        assert "parity: 3 checks vs single-node engine ok" in out
+
+    def test_cluster_verify_json(self, capsys):
+        import json
+
+        assert main(["cluster", "--verify", "--json",
+                     *self.WORLD_SMALL]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verify"]["divergent_keys_before"] > 0
+        assert payload["verify"]["converged"] is True
+        assert payload["verify"]["failures"] == []
+
+    def test_chaos_node_scenario(self, capsys):
+        import json
+
+        assert main(["chaos", "node_crash", "--taps", "8", "--json",
+                     *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["scenario"] == "node_crash"
+        assert sum(payload["outcomes"].values()) == 8
+        assert "anti_entropy" in payload
+        assert any(name.startswith("cluster/replica@")
+                   for name in payload["breakers"])
+
+    def test_chaos_unknown_scenario_suggests(self, capsys):
+        assert main(["chaos", "node_cras", *self.WORLD_SMALL]) == 2
+        err = capsys.readouterr().err
+        assert "unknown chaos scenario" in err
+        assert "did you mean 'node_crash'?" in err
+        assert "known scenarios:" in err
+
+    def test_chaos_legacy_scenarios_still_run(self, capsys):
+        assert main(["chaos", "calm", "--taps", "4",
+                     *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "answered 4/4" in out
+
+    def test_stats_reports_per_node_breakers(self, capsys):
+        assert main(["stats", *self.WORLD_SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "breaker.state.cluster.replica@node-0" in out
+        assert "cluster.reads" in out
