@@ -12,6 +12,9 @@ Offers the zero-code tour of the system:
 * ``clades``  — per-clade materialized statistics of the tree;
 * ``tree``    — draw the annotated tree as ASCII art;
 * ``mobile``  — replay a gesture session on a chosen network profile;
+* ``serve``   — drive an open-loop multi-tenant traffic interval
+  through the admission-controlled serving frontend and print the
+  per-tenant SLO report;
 * ``similar`` — structural similarity search around a SMILES probe;
 * ``export``  — write the world as FASTA / Newick / SMILES / CSV;
 * ``check``   — static semantic analysis of DTQL (no world is built);
@@ -56,10 +59,19 @@ from repro.mobile import (
     plan_session,
     replay_session,
 )
+from repro.serving import (
+    AdmissionConfig,
+    FrontendConfig,
+    ServingFrontend,
+    TenantConfig,
+)
 from repro.workloads import (
     DatasetConfig,
+    LoadConfig,
+    TenantLoad,
     TextTable,
     build_dataset,
+    generate_load,
     mean,
     percentile,
 )
@@ -408,6 +420,83 @@ def _cmd_mobile(args: argparse.Namespace) -> int:
     print(f"  mean latency {mean(latencies):.3f}s, "
           f"p95 {percentile(latencies, 0.95):.3f}s, "
           f"{client.total_bytes_down / 1024:.1f} KB downloaded")
+    return 0
+
+
+def _parse_tenants(spec: str) -> tuple[list[TenantLoad],
+                                       list[TenantConfig]]:
+    """``name:rps[:weight]`` comma list -> load + tenant configs."""
+    loads: list[TenantLoad] = []
+    configs: list[TenantConfig] = []
+    for part in spec.split(","):
+        fields = part.strip().split(":")
+        if len(fields) < 2:
+            raise DrugTreeError(
+                f"bad tenant spec {part!r}; expected name:rps[:weight]"
+            )
+        name = fields[0]
+        rps = float(fields[1])
+        weight = float(fields[2]) if len(fields) > 2 else 1.0
+        loads.append(TenantLoad(name, rps))
+        configs.append(TenantConfig(name, weight=weight))
+    return loads, configs
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with _fresh_observability():
+        dataset = _build_world(args)
+        drugtree = dataset.drugtree()
+        scheduler = FetchScheduler(dataset.registry)
+        # Delta framing is per-session state; the serving layer prefers
+        # shared full renders so the cache front can answer any tenant.
+        server = DrugTreeServer(
+            drugtree,
+            ServerConfig(use_delta=False, tap_deadline_s=args.slo),
+            federation=scheduler,
+        )
+        loads, tenant_configs = _parse_tenants(args.tenants)
+        requests = generate_load(
+            dataset.family.clade_names, dataset.family.protein_ids,
+            LoadConfig(tenants=tuple(loads), duration_s=args.duration,
+                       seed=args.seed),
+        )
+        admission = (None if args.no_admission
+                     else AdmissionConfig(slo_s=args.slo))
+        frontend = ServingFrontend(
+            server, dataset.clock,
+            FrontendConfig(workers=args.workers, policy=args.policy,
+                           admission=admission, slo_s=args.slo),
+            tenants=tenant_configs,
+        )
+        report = frontend.run(requests)
+        if args.json:
+            print(json.dumps(report.as_dict(), indent=2,
+                             sort_keys=True))
+            return 0
+        print(f"{report.offered} requests over "
+              f"{report.makespan_s:.1f}s virtual "
+              f"({report.offered_rps:.1f} rps offered) — "
+              f"policy={args.policy}, "
+              f"admission={'off' if args.no_admission else 'on'}, "
+              f"SLO {args.slo:.2f}s")
+        table = TextTable(["tenant", "offered", "shed", "goodput",
+                           "p50 s", "p99 s", "p99.9 s"])
+        for tenant_id, tenant in sorted(report.tenants.items()):
+            table.add_row(tenant_id, tenant.offered, tenant.shed,
+                          f"{tenant.goodput:.3f}",
+                          f"{tenant.p50_s:.3f}",
+                          f"{tenant.p99_s:.3f}",
+                          f"{tenant.p999_s:.3f}")
+        print(table.render())
+        cache = report.cache
+        if cache:
+            print(f"cache: {cache['hits']} hits / "
+                  f"{cache['misses']} misses "
+                  f"({cache['cross_tenant_hits']} cross-tenant), "
+                  f"{cache['saved_virtual_s']:.1f}s virtual saved")
+        print(f"goodput {report.goodput:.3f} "
+              f"({report.goodput_rps:.1f} rps within SLO), "
+              f"shed rate {report.shed_rate:.3f}")
     return 0
 
 
@@ -1233,6 +1322,28 @@ def build_parser() -> argparse.ArgumentParser:
     mobile.add_argument("--no-lod", action="store_true")
     mobile.add_argument("--no-delta", action="store_true")
     mobile.set_defaults(handler=_cmd_mobile)
+
+    serve = commands.add_parser(
+        "serve",
+        help="open-loop multi-tenant serving run with SLO report")
+    _add_world_options(serve)
+    serve.add_argument("--tenants", default="acme:40:2,uni:10:1",
+                       help="comma list of name:rps[:weight] "
+                            "(default acme:40:2,uni:10:1)")
+    serve.add_argument("--workers", type=int, default=8,
+                       help="virtual worker pool size (default 8)")
+    serve.add_argument("--duration", type=float, default=30.0,
+                       help="traffic interval, virtual s (default 30)")
+    serve.add_argument("--policy", choices=["wfq", "fifo"],
+                       default="wfq",
+                       help="scheduling policy (default wfq)")
+    serve.add_argument("--no-admission", action="store_true",
+                       help="disable admission control (naive mode)")
+    serve.add_argument("--slo", type=float, default=1.0,
+                       help="latency SLO, virtual s (default 1.0)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+    serve.set_defaults(handler=_cmd_serve)
 
     export = commands.add_parser(
         "export", help="write the world in interchange formats")

@@ -118,6 +118,38 @@ class MobileError(DrugTreeError):
     """Mobile protocol or session failure."""
 
 
+class UnknownSessionError(MobileError):
+    """A request named a session the server does not hold.
+
+    Raised both for session ids that never existed and for sessions the
+    bounded session table already evicted as idle; the serving layer
+    reacts by transparently reopening the session.
+    """
+
+
+class ServingError(DrugTreeError):
+    """Multi-tenant serving layer failure (bad config, bad request)."""
+
+
+class OverloadError(ServingError):
+    """Admission control rejected the request before execution.
+
+    Carries the machine-usable shed decision: ``reason`` is one of
+    ``rate_limited`` / ``queue_full`` / ``overload``, and
+    ``retry_after_s`` is the virtual-seconds hint after which the same
+    request would plausibly be admitted. Rejections are charged ~zero
+    virtual latency — shedding that costs latency would defeat its
+    purpose.
+    """
+
+    def __init__(self, message: str = "", reason: str = "overload",
+                 tenant: str = "", retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
 class WorkloadError(DrugTreeError):
     """Synthetic dataset or workload generation failure."""
 

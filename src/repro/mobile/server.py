@@ -6,17 +6,27 @@ sessions. Each response is framed through :mod:`repro.mobile.protocol`;
 the server remembers the last payload it sent each session so it can
 ship deltas, and renders through the LOD module unless configured for
 full-tree responses (the baselines of experiments E5/E6).
+
+The server is safe for concurrent use by a worker pool: the bounded,
+LRU-ordered session table is guarded by one table lock, each session's
+view state by a per-session lock, and the detail-prefetch cache by its
+own lock — none of them ever held across a render or federation fetch.
+Requests naming an evicted session raise a typed
+:class:`~repro.errors.UnknownSessionError` so frontends (see
+:mod:`repro.serving`) can transparently reopen.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.drugtree import DrugTree
 from repro.core.query.executor import EngineConfig, QueryEngine
-from repro.errors import MobileError
+from repro.errors import MobileError, UnknownSessionError
 from repro.mobile.lod import render_full, render_viewport
 from repro.mobile.protocol import Message, delta_message, full_message
 from repro.obs import WallTimer, get_metrics, get_tracer
@@ -50,6 +60,13 @@ class ServerConfig:
     #: breakers): ship a smaller tree rather than an error.
     degraded_lod_max_depth: int = 2
     degraded_lod_max_nodes: int = 60
+    #: Bound on concurrently open sessions; opening past it evicts the
+    #: least-recently-used session (a phone that went quiet).
+    max_sessions: int = 10_000
+    #: Sessions idle longer than this (virtual seconds) are evicted on
+    #: the next open. ``None`` disables idle eviction; it also needs a
+    #: federation clock to measure idleness against.
+    session_idle_s: float | None = None
     engine: EngineConfig = field(default_factory=EngineConfig)
 
 
@@ -71,6 +88,13 @@ class _Session:
     session_id: str
     focus: str
     last_payload: dict[str, Any] | None = None
+    #: Virtual time of the last interaction (LRU/idle eviction key);
+    #: guarded by the server's session-table lock.
+    last_used_s: float = 0.0
+    #: Guards this session's view state (``focus``, ``last_payload``)
+    #: against concurrent gestures on the same session.
+    lock: threading.RLock = field(default_factory=threading.RLock,
+                                  repr=False, compare=False)
 
 
 class DrugTreeServer:
@@ -87,12 +111,20 @@ class DrugTreeServer:
         self.federation = federation
         self.engine = QueryEngine(drugtree, self.config.engine,
                                   federation=federation)
-        self._sessions: dict[str, _Session] = {}
+        #: Session table, ordered by last use (front = coldest).
+        #: All access goes through ``_sessions_lock``; the lock is
+        #: never held across a render or a federation fetch.
+        self._sessions: OrderedDict[str, _Session] = OrderedDict()
+        self._sessions_lock = threading.Lock()
         self._session_counter = itertools.count()
         self._root_name = self._pick_root_name()
         #: protein_id -> merged detail record, filled by the viewport
         #: prefetch so a details tap is served without a round-trip.
+        #: Guarded by ``_details_lock``; fetches run outside the lock
+        #: (concurrent duplicate pulls are coalesced downstream by the
+        #: scheduler, not by holding a lock across the round-trip).
         self._details: dict[str, dict[str, Any]] = {}
+        self._details_lock = threading.Lock()
 
     def _pick_root_name(self) -> str:
         root = self.drugtree.tree.root
@@ -106,22 +138,59 @@ class DrugTreeServer:
 
     # -- session lifecycle ------------------------------------------------------
 
+    def _now(self) -> float:
+        """Virtual time for session-idle accounting (0.0 clockless)."""
+        if self.federation is None:
+            return 0.0
+        return self.federation.clock.now()
+
+    def _evict_sessions_locked(self, now: float) -> int:
+        """Drop idle / excess sessions from the cold end of the table.
+
+        Caller holds ``_sessions_lock``. Returns how many were evicted.
+        """
+        evicted = 0
+        idle_s = self.config.session_idle_s
+        if idle_s is not None and self.federation is not None:
+            while self._sessions:
+                coldest = next(iter(self._sessions.values()))
+                if now - coldest.last_used_s < idle_s:
+                    break
+                self._sessions.popitem(last=False)
+                evicted += 1
+        while len(self._sessions) > self.config.max_sessions:
+            self._sessions.popitem(last=False)
+            evicted += 1
+        return evicted
+
     def open_session(self) -> tuple[str, ServerResponse]:
-        """Open a session; returns its id and the initial tree render."""
+        """Open a session; returns its id and the initial tree render.
+
+        Opening is where the bounded session table sheds: sessions past
+        ``max_sessions`` (or idle past ``session_idle_s``) are evicted
+        coldest-first, and later requests naming them raise
+        :class:`~repro.errors.UnknownSessionError` so callers reopen.
+        """
+        now = self._now()
         session_id = f"s{next(self._session_counter)}"
-        session = _Session(session_id, focus=self._root_name)
-        self._sessions[session_id] = session
-        get_metrics().gauge("mobile.open_sessions").set(
-            len(self._sessions)
-        )
+        session = _Session(session_id, focus=self._root_name,
+                           last_used_s=now)
+        with self._sessions_lock:
+            self._sessions[session_id] = session
+            evicted = self._evict_sessions_locked(now)
+            open_count = len(self._sessions)
+        metrics = get_metrics()
+        if evicted:
+            metrics.counter("mobile.sessions_evicted").inc(evicted)
+        metrics.gauge("mobile.open_sessions").set(open_count)
         response = self._render(session, self._root_name)
         return session_id, response
 
     def close_session(self, session_id: str) -> None:
-        self._sessions.pop(session_id, None)
-        get_metrics().gauge("mobile.open_sessions").set(
-            len(self._sessions)
-        )
+        with self._sessions_lock:
+            self._sessions.pop(session_id, None)
+            open_count = len(self._sessions)
+        get_metrics().gauge("mobile.open_sessions").set(open_count)
 
     def _account(self, interaction: str,
                  response: ServerResponse) -> ServerResponse:
@@ -138,10 +207,16 @@ class DrugTreeServer:
         return response
 
     def _session(self, session_id: str) -> _Session:
-        try:
-            return self._sessions[session_id]
-        except KeyError:
-            raise MobileError(f"unknown session {session_id!r}") from None
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+            if session is None:
+                raise UnknownSessionError(
+                    f"unknown session {session_id!r} "
+                    "(never opened, closed, or evicted)"
+                )
+            session.last_used_s = self._now()
+            self._sessions.move_to_end(session_id)
+            return session
 
     # -- degradation helpers --------------------------------------------------
 
@@ -191,7 +266,8 @@ class DrugTreeServer:
         """Move the session viewport to *focus* and render it."""
         session = self._session(session_id)
         response = self._render(session, focus)
-        session.focus = focus
+        with session.lock:
+            session.focus = focus
         return response
 
     def query(self, session_id: str, dtql: str) -> ServerResponse:
@@ -300,11 +376,13 @@ class DrugTreeServer:
         with get_tracer().span("mobile.protein_details",
                                session=session_id) as span, \
                 WallTimer() as timer:
-            details = self._details.get(protein_id)
+            with self._details_lock:
+                details = self._details.get(protein_id)
             if details is None:
                 metrics.counter("mobile.prefetch.misses").inc()
                 self._prefetch_details([protein_id])
-                details = self._details.get(protein_id)
+                with self._details_lock:
+                    details = self._details.get(protein_id)
             else:
                 metrics.counter("mobile.prefetch.hits").inc()
             status = "fresh"
@@ -348,8 +426,15 @@ class DrugTreeServer:
         ]
 
     def _prefetch_details(self, protein_ids: list[str]) -> None:
-        """Overlap protein + annotation pulls for the given leaves."""
-        wanted = [pid for pid in protein_ids if pid not in self._details]
+        """Overlap protein + annotation pulls for the given leaves.
+
+        The detail-cache lock is never held across the federation
+        round-trip: two sessions prefetching the same viewport may both
+        fetch, and the scheduler coalesces the duplicate pulls.
+        """
+        with self._details_lock:
+            wanted = [pid for pid in protein_ids
+                      if pid not in self._details]
         if not wanted:
             return
         metrics = get_metrics()
@@ -367,12 +452,13 @@ class DrugTreeServer:
             fetched = self.federation.fetch_all(requests)
         proteins = fetched.get(KIND_PROTEIN, {})
         annotations = fetched.get(KIND_ANNOTATION, {})
+        merged: dict[str, dict[str, Any]] = {}
         for pid in wanted:
             entry = proteins.get(pid)
             annotation = annotations.get(pid)
             if entry is None and annotation is None:
                 continue
-            self._details[pid] = {
+            merged[pid] = {
                 "method": getattr(entry, "method", None),
                 "resolution": getattr(entry, "resolution_angstrom",
                                       None),
@@ -383,8 +469,10 @@ class DrugTreeServer:
                                          ()) or ()),
                 "ec_number": getattr(annotation, "ec_number", None),
             }
-        while len(self._details) > self.config.detail_cache_capacity:
-            self._details.pop(next(iter(self._details)))
+        with self._details_lock:
+            self._details.update(merged)
+            while len(self._details) > self.config.detail_cache_capacity:
+                self._details.pop(next(iter(self._details)))
 
     def _render(self, session: _Session, focus: str) -> ServerResponse:
         with get_tracer().span("mobile.render", focus=focus) as span, \
@@ -418,11 +506,13 @@ class DrugTreeServer:
                 # No speculative pulls into a dark federation; probes
                 # go through explicit details taps instead.
                 self._prefetch_details(self._visible_leaves(payload))
-            if self.config.use_delta and session.last_payload is not None:
+            with session.lock:
+                previous = session.last_payload
+            if self.config.use_delta and previous is not None:
                 # Adaptive framing: a big viewport jump can make the
                 # delta larger than the fresh payload — ship whichever
                 # is smaller.
-                delta = delta_message(session.last_payload, payload,
+                delta = delta_message(previous, payload,
                                       compress=self.config.compress)
                 full = full_message(payload,
                                     compress=self.config.compress)
@@ -431,7 +521,8 @@ class DrugTreeServer:
             else:
                 message = full_message(payload,
                                        compress=self.config.compress)
-            session.last_payload = payload
+            with session.lock:
+                session.last_payload = payload
             span.set("wire_bytes", message.wire_bytes)
         return self._account("render", ServerResponse(
             message=message,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+from math import ceil
 from typing import Any
 
 from repro.errors import ObservabilityError
@@ -125,6 +126,56 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (``q`` in [0, 1]) from the buckets.
+
+        Uses linear interpolation inside the bucket where the
+        cumulative count crosses ``q * count`` — the precision is the
+        bucket resolution, which is what fixed-bucket histograms trade
+        for O(1) memory. Estimates are clamped to the observed
+        ``[min, max]`` and observations in the overflow bucket resolve
+        to ``max`` (the histogram knows nothing finer beyond its last
+        bound). An empty histogram answers 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(
+                f"histogram {self.name!r} quantile must be in [0, 1], "
+                f"got {q}"
+            )
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            minimum = self.minimum if self.minimum is not None else 0.0
+            maximum = self.maximum if self.maximum is not None else 0.0
+            # Nearest-rank target: the q-quantile is the value of the
+            # ceil(q*count)-th observation (1-based), so q=0 -> min.
+            rank = max(1, ceil(q * self.count))
+            cumulative = 0
+            lower = minimum
+            for bound, bucket_count in zip(self.buckets, self.counts):
+                if bucket_count:
+                    if cumulative + bucket_count >= rank:
+                        fraction = (rank - cumulative) / bucket_count
+                        low = max(lower, minimum)
+                        high = min(bound, maximum)
+                        if high < low:
+                            return max(min(bound, maximum), minimum)
+                        return low + fraction * (high - low)
+                    cumulative += bucket_count
+                lower = bound
+            return maximum  # rank falls in the overflow bucket
+
+    def summary(self) -> dict[str, float]:
+        """The SLO digest: count, mean, and p50/p90/p99/p999."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
 
     def as_dict(self) -> dict[str, Any]:
         return {

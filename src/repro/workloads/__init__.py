@@ -26,6 +26,12 @@ from repro.workloads.harness import (
     speedup,
     time_wall,
 )
+from repro.workloads.loadgen import (
+    LoadConfig,
+    TenantLoad,
+    ZipfSampler,
+    generate_load,
+)
 from repro.workloads.queries import (
     DEFAULT_MIX,
     QueryGenerator,
@@ -38,13 +44,17 @@ __all__ = [
     "ORGANISM_POOL",
     "Dataset",
     "DatasetConfig",
+    "LoadConfig",
     "Measurement",
     "ProteinFamily",
     "QueryGenerator",
+    "TenantLoad",
     "TextTable",
     "WorkloadConfig",
+    "ZipfSampler",
     "build_dataset",
     "export_dataset",
+    "generate_load",
     "load_bindings_csv",
     "load_smiles_file",
     "generate_bindings",

@@ -1,0 +1,146 @@
+"""Concurrency and session-table tests for the mobile server.
+
+The serving layer models concurrency in virtual time, but a real
+deployment also drives one :class:`DrugTreeServer` from a thread pool —
+these tests hammer the server with real threads and check the session
+table's bounds and typed errors.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import MobileError, UnknownSessionError
+from repro.mobile import DrugTreeServer, ServerConfig
+from repro.sources.scheduler import FetchScheduler
+from repro.workloads import DatasetConfig, build_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_dataset(DatasetConfig(n_leaves=24, n_ligands=40,
+                                       seed=11))
+
+
+@pytest.fixture(scope="module")
+def drugtree(dataset):
+    return dataset.drugtree()
+
+
+class TestUnknownSession:
+    def test_typed_error_is_a_mobile_error(self, drugtree):
+        server = DrugTreeServer(drugtree)
+        with pytest.raises(UnknownSessionError) as excinfo:
+            server.navigate("ghost", "clade_0001")
+        assert isinstance(excinfo.value, MobileError)
+        assert "ghost" in str(excinfo.value)
+
+    def test_query_and_details_raise_it_too(self, dataset, drugtree):
+        server = DrugTreeServer(drugtree,
+                                federation=FetchScheduler(
+                                    dataset.registry))
+        with pytest.raises(UnknownSessionError):
+            server.query("ghost", "SELECT count(*) FROM bindings")
+        with pytest.raises(UnknownSessionError):
+            server.protein_details("ghost", "P00001")
+
+
+class TestBoundedSessionTable:
+    def test_lru_eviction_past_max_sessions(self, drugtree):
+        server = DrugTreeServer(drugtree,
+                                ServerConfig(max_sessions=2))
+        first, _ = server.open_session()
+        second, _ = server.open_session()
+        third, _ = server.open_session()
+        with pytest.raises(UnknownSessionError):
+            server.navigate(first, "clade_0001")
+        # Still-resident sessions keep working.
+        server.navigate(second, "clade_0001")
+        server.navigate(third, "clade_0001")
+
+    def test_touching_a_session_refreshes_its_lru_slot(self, drugtree):
+        server = DrugTreeServer(drugtree,
+                                ServerConfig(max_sessions=2))
+        first, _ = server.open_session()
+        second, _ = server.open_session()
+        server.navigate(first, "clade_0001")  # first is now hottest
+        server.open_session()                 # evicts second
+        server.navigate(first, "clade_0002")
+        with pytest.raises(UnknownSessionError):
+            server.navigate(second, "clade_0001")
+
+    def test_idle_sessions_evicted_by_virtual_time(self, dataset,
+                                                   drugtree):
+        scheduler = FetchScheduler(dataset.registry)
+        server = DrugTreeServer(
+            drugtree,
+            ServerConfig(session_idle_s=10.0, prefetch_details=False),
+            federation=scheduler)
+        idle, _ = server.open_session()
+        dataset.clock.advance(60.0)
+        fresh, _ = server.open_session()  # open() sweeps idle sessions
+        with pytest.raises(UnknownSessionError):
+            server.navigate(idle, "clade_0001")
+        server.navigate(fresh, "clade_0001")
+
+
+class TestConcurrentHammer:
+    def test_parallel_gestures_on_shared_sessions(self, drugtree):
+        server = DrugTreeServer(drugtree,
+                                ServerConfig(max_sessions=64))
+        session_ids = [server.open_session()[0] for _ in range(4)]
+        targets = ["clade_0001", "clade_0002", "clade_0003"]
+        errors = []
+
+        def hammer(worker):
+            try:
+                for i in range(12):
+                    session_id = session_ids[(worker + i)
+                                             % len(session_ids)]
+                    server.navigate(session_id,
+                                    targets[i % len(targets)])
+                    server.query(session_id,
+                                 "SELECT count(*) FROM bindings")
+            except Exception as error:  # noqa: BLE001 - reported below
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(worker,))
+                   for worker in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        # Every session survived and still renders.
+        for session_id in session_ids:
+            server.navigate(session_id, "clade_0001")
+
+    def test_parallel_opens_respect_the_bound(self, drugtree):
+        server = DrugTreeServer(drugtree,
+                                ServerConfig(max_sessions=8))
+        opened = []
+        lock = threading.Lock()
+
+        def opener():
+            for _ in range(5):
+                session_id, _ = server.open_session()
+                with lock:
+                    opened.append(session_id)
+
+        threads = [threading.Thread(target=opener) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(opened) == 20
+        live = [sid for sid in opened
+                if _still_open(server, sid)]
+        assert len(live) <= 8
+
+
+def _still_open(server, session_id):
+    try:
+        server.navigate(session_id, "clade_0001")
+        return True
+    except UnknownSessionError:
+        return False

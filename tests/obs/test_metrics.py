@@ -209,3 +209,68 @@ class TestThreadSafety:
         self._run([threading.Thread(target=hammer) for _ in range(6)])
         assert histogram.count == 9000
         assert sum(histogram.counts) + histogram.overflow == 9000
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_answers_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_quantile_range_validated(self):
+        histogram = Histogram("h")
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(1.5)
+        with pytest.raises(ObservabilityError):
+            histogram.quantile(-0.1)
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.3, 0.6, 1.5, 3.0):
+            histogram.observe(value)
+        # Bucket resolution: the low quantile lands inside the first
+        # occupied bucket (never below the observed min), the high one
+        # clamps to the observed max.
+        assert 0.3 <= histogram.quantile(0.0) <= 1.0
+        assert histogram.quantile(1.0) == pytest.approx(3.0)
+
+    def test_median_lands_in_the_right_bucket(self):
+        histogram = Histogram("h", buckets=(0.1, 0.2, 0.4, 0.8))
+        for _ in range(50):
+            histogram.observe(0.15)
+        for _ in range(50):
+            histogram.observe(0.3)
+        median = histogram.quantile(0.5)
+        assert 0.1 <= median <= 0.2
+        p90 = histogram.quantile(0.9)
+        assert 0.2 <= p90 <= 0.4
+
+    def test_overflow_resolves_to_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        for _ in range(99):
+            histogram.observe(7.0)
+        assert histogram.quantile(0.99) == pytest.approx(7.0)
+
+    def test_single_observation_everywhere(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.4)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(1.4)
+
+    def test_quantiles_are_monotone(self):
+        histogram = Histogram("h")
+        for step in range(200):
+            histogram.observe(0.001 * (step + 1))
+        values = [histogram.quantile(q)
+                  for q in (0.1, 0.5, 0.9, 0.99, 0.999)]
+        assert values == sorted(values)
+
+    def test_summary_shape(self):
+        histogram = Histogram("h")
+        for value in (0.01, 0.02, 0.03):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(0.02)
+        assert set(summary) == {"count", "mean", "p50", "p90",
+                                "p99", "p999"}
+        assert summary["p999"] >= summary["p50"]

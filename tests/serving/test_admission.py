@@ -1,0 +1,133 @@
+"""Tests for admission control decisions and the cost model."""
+
+import pytest
+
+from repro.errors import OverloadError, ServingError
+from repro.serving import (
+    REASON_OVERLOAD,
+    REASON_QUEUE_FULL,
+    REASON_RATE_LIMITED,
+    AdmissionConfig,
+    AdmissionController,
+    FairScheduler,
+    ServiceCostModel,
+    TenantConfig,
+    TenantRegistry,
+)
+from repro.serving.frontend import Request
+
+
+def _request(tenant, kind="render", seq=0):
+    return Request(tenant=tenant, session=f"{tenant}-u0", kind=kind,
+                   target="clade_0001", arrival_s=0.0, seq=seq)
+
+
+def _controller(*tenant_configs, workers=2, slo_s=1.0,
+                priors=None, breakers=None, headroom=1.0):
+    tenants = TenantRegistry(list(tenant_configs))
+    model = ServiceCostModel(priors or {"render": 0.1})
+    scheduler = FairScheduler(tenants)
+    controller = AdmissionController(
+        AdmissionConfig(slo_s=slo_s, headroom=headroom),
+        tenants, model, workers=workers, breakers=breakers,
+    )
+    return controller, scheduler, model
+
+
+class TestServiceCostModel:
+    def test_ewma_tracks_observations(self):
+        model = ServiceCostModel({"render": 0.1}, alpha=0.5)
+        model.observe("render", 0.3)
+        assert model.estimate_s("render") == pytest.approx(0.2)
+
+    def test_unknown_kind_uses_default(self):
+        model = ServiceCostModel({}, default_s=0.07)
+        assert model.estimate_s("query") == pytest.approx(0.07)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ServingError):
+            ServiceCostModel({}, alpha=0.0)
+
+
+class TestAdmission:
+    def test_admits_when_idle(self):
+        controller, scheduler, _ = _controller(TenantConfig("a"))
+        assert controller.decide(_request("a"), 0.0, scheduler) is None
+
+    def test_rate_limit_sheds_with_retry_hint(self):
+        controller, scheduler, _ = _controller(
+            TenantConfig("a", rate_limit_rps=1.0, burst=1.0))
+        assert controller.decide(_request("a"), 0.0, scheduler) is None
+        rejection = controller.decide(_request("a"), 0.0, scheduler)
+        assert rejection.reason == REASON_RATE_LIMITED
+        assert rejection.retry_after_s >= 0.05
+
+    def test_queue_full_sheds(self):
+        controller, scheduler, _ = _controller(
+            TenantConfig("a", queue_limit=1))
+        scheduler.try_enqueue(_request("a"), 0.0, 0.1)
+        rejection = controller.decide(_request("a", seq=1), 0.0,
+                                      scheduler)
+        assert rejection.reason == REASON_QUEUE_FULL
+
+    def test_overload_sheds_when_backlog_exceeds_slo(self):
+        controller, scheduler, _ = _controller(
+            TenantConfig("a", queue_limit=100),
+            workers=1, slo_s=0.5)
+        for seq in range(10):
+            scheduler.try_enqueue(_request("a", seq=seq), 0.0, 0.2)
+        rejection = controller.decide(_request("a", seq=99), 0.0,
+                                      scheduler)
+        assert rejection.reason == REASON_OVERLOAD
+        # The hint names how far past the budget the backlog runs.
+        assert rejection.retry_after_s > 0.5
+
+    def test_one_tenants_backlog_does_not_shed_another(self):
+        controller, scheduler, _ = _controller(
+            TenantConfig("flood", queue_limit=100),
+            TenantConfig("calm"),
+            workers=2, slo_s=0.5)
+        for seq in range(50):
+            scheduler.try_enqueue(_request("flood", seq=seq), 0.0, 0.2)
+        assert controller.decide(_request("calm"), 0.0,
+                                 scheduler) is None
+
+    def test_fifo_backlog_sheds_everyone(self):
+        tenants = TenantRegistry([TenantConfig("flood",
+                                               queue_limit=100),
+                                  TenantConfig("calm")])
+        model = ServiceCostModel({"render": 0.1})
+        scheduler = FairScheduler(tenants, policy="fifo")
+        controller = AdmissionController(
+            AdmissionConfig(slo_s=0.5), tenants, model, workers=2)
+        for seq in range(50):
+            scheduler.try_enqueue(_request("flood", seq=seq), 0.0, 0.2)
+        rejection = controller.decide(_request("calm"), 0.0, scheduler)
+        assert rejection is not None
+        assert rejection.reason == REASON_OVERLOAD
+
+    def test_open_breakers_shed_earlier(self):
+        class _Board:
+            def open_fraction(self):
+                return 1.0
+
+        calm, scheduler, _ = _controller(
+            TenantConfig("a"), workers=1, slo_s=0.5,
+            priors={"render": 0.2})
+        degraded, _, _ = _controller(
+            TenantConfig("a"), workers=1, slo_s=0.5,
+            priors={"render": 0.2}, breakers=_Board())
+        # Same request, same empty queue: estimates triple (1 + 1*2.0)
+        # under a fully open board and blow the budget.
+        assert calm.decide(_request("a"), 0.0, scheduler) is None
+        assert degraded.estimated_cost_s("render") == pytest.approx(0.6)
+        rejection = degraded.decide(_request("a"), 0.0,
+                                    FairScheduler(degraded.tenants))
+        assert rejection is not None
+
+    def test_overload_error_carries_hints(self):
+        error = OverloadError("shed", reason=REASON_OVERLOAD,
+                              tenant="a", retry_after_s=0.4)
+        assert error.reason == REASON_OVERLOAD
+        assert error.tenant == "a"
+        assert error.retry_after_s == pytest.approx(0.4)
